@@ -1,0 +1,41 @@
+"""Figure 3: measurement-prefix BGP churn across the experiment.
+
+Paper (Internet2 run): 162 updates during >4h of R&E prepend changes
+(26 of them on commodity routes), 9,168 during the commodity prepend
+phase — a ~57x contrast, with activity settled for at least ~50
+minutes before each probing window.
+"""
+
+from conftest import show
+
+from repro.collectors import Collector, build_churn_report
+
+
+def test_fig3_churn(benchmark, bench_ecosystem, bench_results):
+    _, internet2_result = bench_results
+
+    def build():
+        collector = Collector(
+            "routeviews+ris", bench_ecosystem.feeders.all_sessions()
+        )
+        collector.ingest(internet2_result.update_log)
+        return build_churn_report(internet2_result, collector)
+
+    report = benchmark(build)
+    ratio = report.commodity_phase.updates / max(1, report.re_phase.updates)
+    show(
+        "Figure 3 — update churn (Internet2 run)",
+        [
+            ("R&E phase updates", "162", "%d" % report.re_phase.updates),
+            ("  of which commodity-route", "26",
+             "%d" % report.re_phase.commodity_tagged),
+            ("commodity phase updates", "9,168",
+             "%d" % report.commodity_phase.updates),
+            ("commodity/R&E ratio", "~57x", "%.0fx" % ratio),
+            ("min quiet minutes before probing", ">=50",
+             "%.0f" % (report.min_quiet_minutes or 0)),
+        ],
+    )
+    assert ratio > 8
+    assert report.re_phase.commodity_tagged <= report.re_phase.updates
+    assert (report.min_quiet_minutes or 0) > 10

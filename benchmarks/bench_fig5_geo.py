@@ -1,0 +1,53 @@
+"""Figure 5: share of ASes reached over R&E by the equal-localpref
+observer (RIPE analogue), per region.
+
+Paper: 64.0% of 18,160 prefixes via R&E overall; Norway, Sweden,
+France, Spain, Australia, New Zealand above 90% of ASes; Germany,
+Ukraine, Belarus, Brazil, Thailand below 15%; New York 84% despite
+NYSERNet selling no commodity transit; California 78%.
+"""
+
+from conftest import show
+
+from repro.core.ripe import build_figure5
+
+
+def test_fig5_geo(benchmark, bench_ecosystem):
+    figure = benchmark.pedantic(
+        build_figure5, args=(bench_ecosystem,), rounds=1, iterations=1,
+    )
+
+    def country(code):
+        stat = figure.countries.get(code)
+        return "%.0f%%" % (100 * stat.share) if stat else "-"
+
+    def state(code):
+        stat = figure.us_states.get(code)
+        return "%.0f%%" % (100 * stat.share) if stat else "-"
+
+    show(
+        "Figure 5 — RIPE-analogue R&E reach per region",
+        [
+            ("overall prefixes via R&E", "64.0%",
+             "%.1f%%" % (100 * figure.re_prefix_share)),
+            ("Norway", ">90%", country("NO")),
+            ("Sweden", ">90%", country("SE")),
+            ("France", ">90%", country("FR")),
+            ("Spain", ">90%", country("ES")),
+            ("Australia", ">90%", country("AU")),
+            ("New Zealand", ">90%", country("NZ")),
+            ("Germany", "<15%", country("DE")),
+            ("Ukraine", "<15%", country("UA")),
+            ("Belarus", "<15%", country("BY")),
+            ("Brazil", "<15%", country("BR")),
+            ("Thailand", "<15%", country("TH")),
+            ("New York", "84%", state("NY")),
+            ("California", "78%", state("CA")),
+        ],
+    )
+    assert 0.45 < figure.re_prefix_share < 0.85
+    for code in ("NO", "SE", "FR", "ES"):
+        assert figure.countries[code].share > 0.85
+    for code in ("DE", "UA", "BY", "BR", "TH"):
+        assert figure.countries[code].share < 0.20
+    assert figure.us_states["NY"].share > 0.6

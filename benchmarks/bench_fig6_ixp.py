@@ -1,0 +1,59 @@
+"""Figure 6 / §5: peer-vs-provider preference inference at an IXP.
+
+The paper proposes the same method for general peering policy
+inference.  This bench sweeps prepends over the Figure 6 topology and
+checks the inference recovers the ground truth for Alpha in both
+policy configurations, while Beta remains ambiguous.
+"""
+
+from conftest import show
+
+from repro import Announcement, Prefix, propagate_fastpath
+from repro.topology.scenarios import build_ixp_scenario
+
+PREFIX = Prefix.parse("192.0.2.0/24")
+SWEEP = [(2, 0), (1, 0), (0, 0), (0, 1), (0, 2)]
+
+
+def _infer_alpha(equal: bool) -> str:
+    topo, asns = build_ixp_scenario(alpha_equal_localpref=equal)
+    selections = []
+    for ixp_p, transit_p in SWEEP:
+        result = propagate_fastpath(
+            topo,
+            [
+                Announcement(
+                    PREFIX, asns["host"],
+                    prepends={
+                        asns["alpha"]: ixp_p,
+                        asns["beta"]: ixp_p,
+                        asns["tier1"]: transit_p,
+                    },
+                )
+            ],
+        )
+        best = result.route_at(asns["alpha"])
+        selections.append(
+            "peer" if best.learned_from == asns["host"] else "provider"
+        )
+    if all(s == selections[0] for s in selections):
+        return "insensitive"
+    return "equal-localpref"
+
+
+def test_fig6_ixp_inference(benchmark):
+    def run():
+        return _infer_alpha(True), _infer_alpha(False)
+
+    equal_result, preferring_result = benchmark(run)
+    show(
+        "Figure 6 — IXP peer/provider inference",
+        [
+            ("Alpha (truth: equal localpref)", "flips with length",
+             equal_result),
+            ("Alpha (truth: prefers peer)", "insensitive",
+             preferring_result),
+        ],
+    )
+    assert equal_result == "equal-localpref"
+    assert preferring_result == "insensitive"

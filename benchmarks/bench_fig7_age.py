@@ -1,0 +1,39 @@
+"""Figure 7 / Appendix A: AS path length vs route age state diagrams.
+
+Paper: for a network with equal localpref, ties during the
+R&E-prepends phase resolve to the (older) commodity route, and ties
+during the commodity-prepends phase resolve to the (older) R&E route;
+path-length-insensitive networks (case J) switch at 0-1 when the
+commodity route was older, and make two transitions when the R&E route
+was older.
+"""
+
+from conftest import show
+
+from repro.core.age_model import simulate_age_cases
+
+EXPECTED_SWITCH = {
+    "A": "3-0", "B": "2-0", "C": "1-0", "D": "0-0", "E": "0-1",
+    "F": "0-1", "G": "0-2", "H": "0-3", "I": "0-4", "J1": "0-1",
+}
+
+
+def test_fig7_age_model(benchmark):
+    cases = benchmark(simulate_age_cases)
+    by_label = {case.label: case for case in cases}
+    rows = []
+    for label, expected in EXPECTED_SWITCH.items():
+        rows.append(
+            (
+                "case %s switch config" % label,
+                expected,
+                by_label[label].switch_config or "-",
+            )
+        )
+    rows.append(
+        ("case J2 transitions", "2", "%d" % by_label["J2"].transitions)
+    )
+    show("Figure 7 — route-age state machine", rows)
+    for label, expected in EXPECTED_SWITCH.items():
+        assert by_label[label].switch_config == expected
+    assert by_label["J2"].transitions == 2

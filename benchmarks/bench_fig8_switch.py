@@ -1,0 +1,46 @@
+"""Figure 8 / Appendix B: when ASes switched to R&E routes.
+
+Paper: over the 859 prefixes that switched in both experiments
+(254 ASes), U.S. Participant ASes switched one prepend configuration
+*later* than international Peer-NREN ASes in the SURF run (their R&E
+paths were longer as a population); in the Internet2 run the curves
+are similar but twice as many Peer-NREN ASes switched at 2-0.
+"""
+
+from conftest import show
+
+from repro.core.switch_cdf import build_figure8, population_lag, switched_in_both
+
+
+def test_fig8_switch_cdfs(benchmark, bench_ecosystem, bench_inferences):
+    surf_inf, internet2_inf = bench_inferences
+
+    def build():
+        return (
+            build_figure8(bench_ecosystem, surf_inf, internet2_inf, "surf"),
+            build_figure8(bench_ecosystem, surf_inf, internet2_inf,
+                          "internet2"),
+        )
+
+    surf_fig, internet2_fig = benchmark(build)
+    shared = switched_in_both(surf_inf, internet2_inf)
+    surf_lag = population_lag(surf_fig)
+    nren_20 = dict(internet2_fig.peer_nren.cdf()).get("2-0", 0.0)
+    part_20 = dict(internet2_fig.participant.cdf()).get("2-0", 0.0)
+    show(
+        "Figure 8 — switch-to-R&E CDFs",
+        [
+            ("prefixes switching in both runs", "859", "%d" % len(shared)),
+            ("SURF: Participant lag (configs)", "~1.0",
+             "%.2f" % surf_lag),
+            ("I2: Peer-NREN share at 2-0", "2x Participant",
+             "%.1f%% vs %.1f%%" % (100 * nren_20, 100 * part_20)),
+            ("Peer-NREN population", "129",
+             "%d" % surf_fig.peer_nren.total),
+            ("Participant population", "128",
+             "%d" % surf_fig.participant.total),
+        ],
+    )
+    assert shared
+    assert surf_lag > 0.3  # Participants later in the SURF run
+    assert nren_20 >= part_20  # more Peer-NREN early switchers at 2-0

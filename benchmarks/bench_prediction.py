@@ -1,0 +1,42 @@
+"""Routing-model implication: prediction accuracy with and without
+inferred preferences.
+
+The paper's motivation (§1, §4.2): localpref is invisible in BGP, so
+models based on shortest paths or on prepending signals mispredict
+edge egress; inferring relative preference closes that gap.  Related
+work (Anwar et al. [1]) reported 14-35% of observed decisions deviated
+from Gao-Rexford/shortest-path expectations.
+"""
+
+from conftest import show
+
+from repro.core.prediction import build_prediction_report
+
+
+def test_prediction_models(benchmark, bench_ecosystem, bench_inferences,
+                           bench_results):
+    _, internet2_inference = bench_inferences
+    _, internet2_result = bench_results
+    report = benchmark(
+        build_prediction_report, bench_ecosystem, internet2_inference,
+        internet2_result,
+    )
+    shortest = report.score("shortest-path")
+    signal = report.score("prepend-signal")
+    inferred = report.score("inferred")
+    show(
+        "Prediction — model accuracy at 0-0",
+        [
+            ("shortest-path model", "65-86% (per [1])",
+             "%.1f%%" % (100 * shortest.accuracy)),
+            ("prepend-signal heuristic", "error-prone (§4.2)",
+             "%.1f%%" % (100 * signal.accuracy)),
+            ("with inferred preference", "upper bound",
+             "%.1f%%" % (100 * inferred.accuracy)),
+        ],
+    )
+    # Inferred preferences strictly improve on preference-blind models.
+    assert inferred.accuracy > shortest.accuracy
+    assert inferred.accuracy > signal.accuracy
+    # And the blind models are meaningfully wrong (the paper's point).
+    assert shortest.accuracy < 0.97

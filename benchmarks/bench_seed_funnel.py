@@ -1,0 +1,56 @@
+"""§3.2: the probe-seed coverage funnel.
+
+Paper: 17,989 studied prefixes after excluding 437 covered prefixes;
+65.2% ISI-covered (95.8% of ASes); 73.3% covered with Censys (98.8% of
+ASes); 68.0% responsive (97.8% of ASes); 82.7% of responsive prefixes
+yielded three targets; seed origin 77.8% ICMP / 24.4% TCP+UDP / 2.1%
+mixed.
+"""
+
+from conftest import BENCH_SEED, show
+
+from repro.rng import SeedTree
+from repro.seeds import select_seeds
+
+
+def test_seed_funnel(benchmark, bench_ecosystem):
+    plan = benchmark.pedantic(
+        select_seeds, args=(bench_ecosystem,),
+        kwargs={"seed_tree": SeedTree(BENCH_SEED).child("bench-seeds")},
+        rounds=2, iterations=1,
+    )
+    funnel = plan.funnel
+
+    def pct(n, d):
+        return "%.1f%%" % (100.0 * n / d) if d else "-"
+
+    show(
+        "§3.2 — seed coverage funnel",
+        [
+            ("covered prefixes excluded", "437 (2.4%)",
+             "%d (%s)" % (funnel.covered_excluded,
+                          pct(funnel.covered_excluded,
+                              funnel.covered_excluded
+                              + funnel.studied_prefixes))),
+            ("ISI coverage", "65.2%",
+             pct(funnel.isi_covered, funnel.studied_prefixes)),
+            ("ISI+Censys coverage", "73.3%",
+             pct(funnel.union_covered, funnel.studied_prefixes)),
+            ("responsive", "68.0%",
+             pct(funnel.responsive, funnel.studied_prefixes)),
+            ("responsive ASes", "97.8%",
+             pct(funnel.responsive_ases, funnel.studied_ases)),
+            ("three targets", "82.7%",
+             pct(funnel.three_targets, funnel.responsive)),
+            ("ICMP-seeded", "77.8%",
+             pct(funnel.isi_seeded, funnel.responsive)),
+            ("TCP/UDP-seeded", "24.4%",
+             pct(funnel.censys_seeded + funnel.mixed_seeded,
+                 funnel.responsive)),
+        ],
+    )
+    assert 0.58 < funnel.isi_covered / funnel.studied_prefixes < 0.72
+    assert 0.66 < funnel.union_covered / funnel.studied_prefixes < 0.80
+    assert 0.61 < funnel.responsive / funnel.studied_prefixes < 0.75
+    assert 0.75 < funnel.three_targets / funnel.responsive < 0.90
+    assert funnel.isi_seeded > 2 * funnel.censys_seeded

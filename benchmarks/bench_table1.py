@@ -1,0 +1,67 @@
+"""Table 1: inference results for tested prefixes, both experiments.
+
+Paper (Internet2, Table 1b): Always R&E 80.8%, Always commodity 7.0%,
+Switch to R&E 9.1%, Switch to commodity 0.0%, Mixed 3.1%, Oscillating
+0.0%; 75.3% of ASes had at least one always-R&E prefix.
+"""
+
+from conftest import show
+
+from repro.core.aggregate import build_table1
+from repro.core.classify import InferenceCategory
+
+PAPER_1B = {
+    InferenceCategory.ALWAYS_RE: (80.8, 75.3),
+    InferenceCategory.ALWAYS_COMMODITY: (7.0, 13.7),
+    InferenceCategory.SWITCH_TO_RE: (9.1, 12.5),
+    InferenceCategory.SWITCH_TO_COMMODITY: (0.0, 0.1),
+    InferenceCategory.MIXED: (3.1, 8.8),
+    InferenceCategory.OSCILLATING: (0.0, 0.1),
+}
+
+PAPER_1A = {
+    InferenceCategory.ALWAYS_RE: (81.8, 76.1),
+    InferenceCategory.ALWAYS_COMMODITY: (7.0, 13.2),
+    InferenceCategory.SWITCH_TO_RE: (8.0, 11.7),
+    InferenceCategory.SWITCH_TO_COMMODITY: (0.0, 0.1),
+    InferenceCategory.MIXED: (3.1, 9.1),
+    InferenceCategory.OSCILLATING: (0.0, 0.2),
+}
+
+
+def _compare(table, paper):
+    rows = []
+    for category, (paper_prefix, paper_as) in paper.items():
+        row = table.row(category)
+        rows.append(
+            (
+                category.value + " (prefix %)",
+                "%.1f%%" % paper_prefix,
+                "%.1f%%" % (100.0 * row.prefix_share),
+            )
+        )
+        rows.append(
+            (
+                category.value + " (AS %)",
+                "%.1f%%" % paper_as,
+                "%.1f%%" % (100.0 * row.as_share),
+            )
+        )
+    return rows
+
+
+def test_table1_internet2(benchmark, bench_inferences):
+    _, internet2 = bench_inferences
+    table = benchmark(build_table1, internet2)
+    show("Table 1b — Internet2 experiment", _compare(table, PAPER_1B))
+    always_re = table.row(InferenceCategory.ALWAYS_RE)
+    assert 0.72 < always_re.prefix_share < 0.90
+    assert table.row(InferenceCategory.SWITCH_TO_RE).prefix_share > 0.04
+
+
+def test_table1_surf(benchmark, bench_inferences):
+    surf, _ = bench_inferences
+    table = benchmark(build_table1, surf)
+    show("Table 1a — SURF experiment", _compare(table, PAPER_1A))
+    always_re = table.row(InferenceCategory.ALWAYS_RE)
+    assert 0.72 < always_re.prefix_share < 0.90

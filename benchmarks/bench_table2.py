@@ -1,0 +1,50 @@
+"""Table 2: comparison of SURF and Internet2 results.
+
+Paper: 11,552 comparable prefixes, 96.9% same inference; 363 different
+(3.1%); 161 of the differences (44.3%) caused by NIKS's per-neighbor
+localpref; incomparable: 279 loss + 400 mixed + 6 oscillating +
+4 switch-to-commodity.
+"""
+
+from conftest import show
+
+from repro.core.compare import build_table2
+from repro.core.classify import InferenceCategory
+
+RE = InferenceCategory.ALWAYS_RE
+SW = InferenceCategory.SWITCH_TO_RE
+CO = InferenceCategory.ALWAYS_COMMODITY
+
+
+def test_table2(benchmark, bench_ecosystem, bench_inferences):
+    surf, internet2 = bench_inferences
+    table = benchmark(build_table2, surf, internet2, bench_ecosystem)
+    total = table.comparable
+    show(
+        "Table 2 — SURF vs Internet2",
+        [
+            ("same inference", "96.9%", "%.1f%%" % (100 * table.agreement)),
+            ("different inference", "3.1%",
+             "%.1f%%" % (100 * table.different / total)),
+            ("NIKS share of differences", "44.3%",
+             "%.1f%%" % (100 * table.niks_attributed / max(1, table.different))),
+            ("[always R&E, switch] cell", "184 (1.6%)",
+             "%d (%.1f%%)" % (table.cell(RE, SW),
+                              100 * table.cell(RE, SW) / total)),
+            ("[switch, always R&E] cell", "61 (0.5%)",
+             "%d (%.1f%%)" % (table.cell(SW, RE),
+                              100 * table.cell(SW, RE) / total)),
+            ("[always R&E diagonal]", "82.8%",
+             "%.1f%%" % (100 * table.cell(RE, RE) / total)),
+            ("[always comm diagonal]", "6.6%",
+             "%.1f%%" % (100 * table.cell(CO, CO) / total)),
+            ("[switch diagonal]", "7.4%",
+             "%.1f%%" % (100 * table.cell(SW, SW) / total)),
+            ("incomparable (loss/mixed/osc/sw-c)", "689",
+             "%d" % table.incomparable),
+        ],
+    )
+    assert table.agreement > 0.94
+    assert table.niks_attributed > 0
+    # NIKS must be the single largest attributed cause, as in the paper.
+    assert table.niks_attributed >= 0.2 * table.different

@@ -1,0 +1,35 @@
+"""Table 3: policy inferences vs public BGP views.
+
+Paper: 26 ASes provided a public view; 1 excluded (no most-frequent
+inference); of 25, 22 congruent and 3 incongruent — with at least two
+of the three incongruences explained by commodity-VRF exports, i.e.
+the inference was correct and the public view misleading.
+"""
+
+from conftest import show
+
+from repro.core.validation import build_table3
+
+
+def test_table3(benchmark, bench_ecosystem, bench_inferences,
+                bench_results):
+    _, internet2_inference = bench_inferences
+    _, internet2_result = bench_results
+    table = benchmark(
+        build_table3, bench_ecosystem, internet2_inference, internet2_result
+    )
+    show(
+        "Table 3 — congruence with public BGP views",
+        [
+            ("feeder ASes compared", "25", "%d" % table.total),
+            ("congruent", "22", "%d" % table.total_congruent),
+            ("incongruent", "3",
+             "%d" % (table.total - table.total_congruent)),
+            ("incongruent-but-correct (VRF)", ">=2",
+             "%d" % table.incongruent_but_correct),
+            ("excluded (no majority)", "1",
+             "%d" % table.excluded_no_majority),
+        ],
+    )
+    assert table.total_congruent >= table.total - 4
+    assert table.incongruent_but_correct >= 1

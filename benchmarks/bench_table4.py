@@ -1,0 +1,71 @@
+"""Table 4: origin prepending vs route-preference inference (§4.2).
+
+Paper column shapes (share of each column that is Always R&E /
+Always commodity / Switch to R&E / Mixed):
+
+- R=C:           73.8 /  7.8 / 15.0 / 3.4
+- R<C:           83.2 /  6.1 /  7.9 / 2.8
+- R>C:           50.7 / 37.1 /  7.0 / 5.2
+- no commodity:  88.3 /  4.1 /  4.9 / 2.7
+
+Headline: prepending is a real but unreliable signal — over half the
+R>C prefixes still always returned via R&E.
+"""
+
+from conftest import show
+
+from repro.core.classify import InferenceCategory
+from repro.core.prepend_analysis import (
+    COL_EQUAL,
+    COL_MORE_COMMODITY,
+    COL_MORE_RE,
+    COL_NO_COMMODITY,
+    build_table4,
+)
+
+PAPER = {
+    COL_EQUAL: (73.8, 7.8, 15.0, 3.4),
+    COL_MORE_COMMODITY: (83.2, 6.1, 7.9, 2.8),
+    COL_MORE_RE: (50.7, 37.1, 7.0, 5.2),
+    COL_NO_COMMODITY: (88.3, 4.1, 4.9, 2.7),
+}
+
+ROWS = (
+    InferenceCategory.ALWAYS_RE,
+    InferenceCategory.ALWAYS_COMMODITY,
+    InferenceCategory.SWITCH_TO_RE,
+    InferenceCategory.MIXED,
+)
+
+
+def test_table4(benchmark, bench_ecosystem, bench_inferences):
+    _, internet2_inference = bench_inferences
+    table = benchmark(build_table4, bench_ecosystem, internet2_inference)
+    rows = []
+    for column, paper_values in PAPER.items():
+        for category, paper_value in zip(ROWS, paper_values):
+            rows.append(
+                (
+                    "%s | %s" % (column, category.value[:18]),
+                    "%.1f%%" % paper_value,
+                    "%.1f%%" % (100 * table.column_share(category, column)),
+                )
+            )
+    show("Table 4 — prepending vs inference", rows)
+
+    # Shape assertions.
+    re = InferenceCategory.ALWAYS_RE
+    comm = InferenceCategory.ALWAYS_COMMODITY
+    # Prepending toward commodity correlates with preferring R&E...
+    assert table.column_share(re, COL_MORE_COMMODITY) > 0.75
+    # ...but R>C prefixes are far likelier to prefer commodity than any
+    # other column, while still often preferring R&E.
+    if table.column_total(COL_MORE_RE) >= 20:
+        assert table.column_share(comm, COL_MORE_RE) > 2 * table.column_share(
+            comm, COL_EQUAL
+        )
+        assert table.column_share(re, COL_MORE_RE) > 0.3
+    # Hidden commodity transit: some no-commodity prefixes do not
+    # always return via R&E (the paper's 9.0%).
+    no_comm_not_re = 1.0 - table.column_share(re, COL_NO_COMMODITY)
+    assert 0.03 < no_comm_not_re < 0.25

@@ -1,0 +1,37 @@
+"""§4.1.2: operator ground truth, plus whole-population accuracy.
+
+Paper: ten operators contacted, eight responded, every response
+consistent with the inference (two equal-localpref confirmations, one
+interconnect-router explanation for a mixed prefix, five always-R&E
+confirmations); overall at least 32 of 33 validated inferences correct.
+"""
+
+from conftest import BENCH_SEED, show
+
+from repro.core.validation import operator_ground_truth, truth_accuracy
+
+
+def test_operator_ground_truth(benchmark, bench_ecosystem,
+                               bench_inferences):
+    _, internet2_inference = bench_inferences
+    report = benchmark(
+        operator_ground_truth, bench_ecosystem, internet2_inference,
+        seed=BENCH_SEED,
+    )
+    accuracy = truth_accuracy(bench_ecosystem, internet2_inference)
+    overall = sum(accuracy.values()) / len(accuracy)
+    show(
+        "§4.1.2 — operator ground truth",
+        [
+            ("operators contacted", "10", "%d" % report.contacted),
+            ("responses", "8", "%d" % report.responses),
+            ("confirmed", "8", "%d" % report.confirmed),
+            ("validated correct", ">=32/33",
+             "%d/%d" % (report.confirmed, report.responses)),
+            ("population accuracy (mean/class)", "-",
+             "%.1f%%" % (100 * overall)),
+        ],
+    )
+    assert report.responses == 8
+    assert report.confirmed >= report.responses - 1
+    assert overall > 0.8

@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The benchmark scale defaults to 0.25 (~660 member ASes, ~4.5K prefixes)
+and can be overridden with the ``REPRO_BENCH_SCALE`` environment
+variable (1.0 approximates the paper's population).  The expensive
+artefacts are built once per session; the per-table benchmarks measure
+the analysis stage and print a paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import REEcosystemConfig, build_ecosystem
+from repro.core.classify import classify_experiment, origin_map
+from repro.experiment import run_both_experiments
+
+BENCH_SEED = 20250605
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_ecosystem():
+    return build_ecosystem(
+        REEcosystemConfig(scale=bench_scale()), seed=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_ecosystem):
+    return run_both_experiments(bench_ecosystem, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_inferences(bench_ecosystem, bench_results):
+    origins = origin_map(bench_ecosystem)
+    surf, internet2 = bench_results
+    return (
+        classify_experiment(surf, origins),
+        classify_experiment(internet2, origins),
+    )
+
+
+def show(title: str, rows) -> None:
+    """Print a paper-vs-measured comparison block."""
+    print()
+    print("=" * 68)
+    print(title)
+    print("-" * 68)
+    print("%-36s %14s %14s" % ("metric", "paper", "measured"))
+    for metric, paper, measured in rows:
+        print("%-36s %14s %14s" % (metric, paper, measured))
+    print("=" * 68)

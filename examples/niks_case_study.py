@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Figure 4 case study: the NIKS localpref asymmetry.
+
+NIKS (AS 3267) assigns localpref 102 to routes from GEANT and 50 to
+routes from both NORDUnet and Arelion.  The SURF-announced measurement
+prefix reaches NIKS via GEANT (SURF is GEANT's member), so NIKS always
+uses the R&E route in the May experiment.  The Internet2-announced
+prefix only reaches NIKS via NORDUnet — Gao-Rexford export stops GEANT
+from handing a fabric-peer route to its non-fabric peer NIKS — where it
+ties with the commodity route on localpref 50 and wins or loses on AS
+path length.
+
+This script replays both experiments over the Figure 4 topology and
+narrates NIKS's BGP decision at each prepend configuration.
+"""
+
+from repro import Announcement, Prefix, propagate_fastpath
+from repro.bgp.decision import explain_choice
+from repro.experiment.schedule import PREPEND_SEQUENCE, parse_prepend_config
+from repro.topology.scenarios import build_niks_scenario
+
+MEAS = Prefix.parse("163.253.63.0/24")
+
+
+def run_experiment(topo, asns, experiment: str) -> None:
+    re_origin = (
+        asns["surf_origin"] if experiment == "surf" else asns["internet2"]
+    )
+    print("=" * 64)
+    print("%s experiment (R&E origin AS %d)" % (experiment.upper(), re_origin))
+    print("=" * 64)
+    selections = []
+    for config in PREPEND_SEQUENCE:
+        re_p, comm_p = parse_prepend_config(config)
+        result = propagate_fastpath(
+            topo,
+            [
+                Announcement(MEAS, re_origin, default_prepends=re_p,
+                             tag="re"),
+                Announcement(MEAS, asns["commodity_origin"],
+                             default_prepends=comm_p, tag="commodity"),
+            ],
+        )
+        best = result.route_at(asns["niks"])
+        selections.append(best.tag)
+        print(
+            "%-4s NIKS selects %-9s lp=%-3d path=[%s]"
+            % (config, best.tag, best.localpref, best.path)
+        )
+    print()
+    first = selections[0]
+    if all(s == first for s in selections):
+        print("-> inference: always %s" % first)
+    else:
+        switch = PREPEND_SEQUENCE[selections.index("re")]
+        print("-> inference: switch to R&E at configuration %s" % switch)
+    print()
+
+
+def narrate_decision(topo, asns) -> None:
+    """Show the full candidate set and decision steps at 0-0 in the
+    Internet2 experiment."""
+    result = propagate_fastpath(
+        topo,
+        [
+            Announcement(MEAS, asns["internet2"], tag="re"),
+            Announcement(MEAS, asns["commodity_origin"], tag="commodity"),
+        ],
+    )
+    candidates = result.candidates_at(asns["niks"])
+    process = topo.node(asns["niks"]).policy.decision_process()
+    print("NIKS decision at 0-0 (Internet2 experiment):")
+    for line in explain_choice(process, candidates):
+        print("   " + line)
+    print()
+
+
+def main() -> int:
+    topo, asns = build_niks_scenario()
+    print(__doc__)
+    run_experiment(topo, asns, "surf")
+    run_experiment(topo, asns, "internet2")
+    narrate_decision(topo, asns)
+    print(
+        "The paper traced 161 of 363 cross-experiment differences to\n"
+        "this single policy (Table 2); the cone of members behind NIKS\n"
+        "flips from 'always R&E' to 'switch to R&E' between runs."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Control-plane vs data-plane: two views of the same inference.
+
+The probing pipeline infers route preference from the *outside* —
+response interfaces at a measurement host.  The
+:class:`repro.core.survey.PreferenceSurvey` API computes the same
+classification from converged RIBs directly.  On the synthetic
+ecosystem both views are available, so this example runs both and
+shows they agree — and then uses the survey to answer a question the
+paper poses but the probing data cannot: what about the ~32% of
+prefixes with *no responsive systems*?
+
+Usage::
+
+    python examples/preference_survey.py [scale] [seed]
+"""
+
+import sys
+from collections import Counter
+
+from repro import REEcosystemConfig, build_ecosystem
+from repro.core.classify import (
+    InferenceCategory,
+    classify_experiment,
+    origin_map,
+)
+from repro.core.survey import (
+    AnnouncementSpec,
+    PreferenceSurvey,
+    SurveyCategory,
+)
+from repro.experiment import ExperimentRunner
+
+#: Map survey categories onto probing categories for comparison.
+CATEGORY_MAP = {
+    SurveyCategory.ALWAYS_FIRST: InferenceCategory.ALWAYS_RE,
+    SurveyCategory.ALWAYS_SECOND: InferenceCategory.ALWAYS_COMMODITY,
+    SurveyCategory.SWITCHES_TO_FIRST: InferenceCategory.SWITCH_TO_RE,
+    SurveyCategory.SWITCHES_TO_SECOND:
+        InferenceCategory.SWITCH_TO_COMMODITY,
+}
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+
+    print("Building ecosystem (scale=%.2f)..." % scale)
+    eco = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+
+    print("Data plane: running the Internet2 experiment...")
+    result = ExperimentRunner(eco, "internet2", seed=seed).run()
+    inference = classify_experiment(result, origin_map(eco))
+
+    print("Control plane: sweeping announcements over converged RIBs...")
+    survey = PreferenceSurvey(
+        eco.topology,
+        AnnouncementSpec(eco.measurement_prefix, eco.internet2_origin,
+                         "re"),
+        AnnouncementSpec(eco.measurement_prefix, eco.commodity_origin,
+                         "commodity"),
+    )
+    outcome = survey.run(
+        targets=[t.asn for t in eco.members.values()
+                 if t.asn != eco.ripe_asn]
+    )
+
+    # Agreement: per responsive *normal* prefix, the probing category
+    # should match the survey category of its origin AS.
+    from repro.topology.re_config import PrefixKind
+
+    agree = disagree = 0
+    for prefix, item in inference.inferences.items():
+        plan = eco.prefix_plans[prefix]
+        if plan.kind is not PrefixKind.NORMAL or not item.characterized:
+            continue
+        survey_category = CATEGORY_MAP.get(
+            outcome.category_of(plan.origin_asn)
+        )
+        if survey_category is None:
+            continue
+        if survey_category is item.category:
+            agree += 1
+        else:
+            disagree += 1
+    total = agree + disagree
+    print(
+        "\nAgreement on responsive single-attachment prefixes: "
+        "%d/%d (%.1f%%)" % (agree, total, 100.0 * agree / total)
+    )
+    print("(disagreements come from per-round packet loss and outages)")
+
+    # The survey also covers members the probing never saw.
+    probed_origins = {
+        eco.prefix_plans[p].origin_asn for p in inference.inferences
+    }
+    unprobed = [
+        asn for asn in outcome.targets if asn not in probed_origins
+    ]
+    counts = Counter(
+        str(outcome.category_of(asn)) for asn in unprobed
+    )
+    print(
+        "\nControl-plane coverage of the %d member ASes the probing "
+        "could not reach:" % len(unprobed)
+    )
+    for category, count in counts.most_common():
+        print("   %-22s %d" % (category, count))
+    print(
+        "\n(The paper's method is bounded by responsive systems — "
+        "§3.2 reached 97.8%\nof ASes; a simulator has no such limit, "
+        "which is how the ground truth\nbehind Tables 1-4 is known "
+        "exactly.)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` for PEP-517 editable installs; offline
+environments that lack it can fall back to `python setup.py develop`.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""The BGP decision process.
+
+A :class:`DecisionProcess` is an ordered list of tie-breaking steps.  The
+default order mirrors common router implementations and the paper's
+analysis (§1, §A):
+
+1. highest local preference;
+2. shortest AS path (skipped by *path-length-insensitive* ASes, §A);
+3. lowest MED;
+4. oldest route (only when ``age_tiebreak`` is enabled — §A shows most
+   R&E ASes broke ties with path length, with limited evidence for
+   route-age tie-breaking);
+5. lowest neighbor ASN (final deterministic tie-break, standing in for
+   lowest router ID).
+
+Each step is a pure filter: given the surviving candidate routes it
+returns the subset that wins that step.  ``best()`` runs the steps in
+order until one candidate survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PolicyError
+from .attributes import Route
+
+
+class Step(Enum):
+    """Identifiers for the individual decision steps."""
+
+    HIGHEST_LOCALPREF = "highest-localpref"
+    SHORTEST_AS_PATH = "shortest-as-path"
+    LOWEST_MED = "lowest-med"
+    OLDEST_ROUTE = "oldest-route"
+    LOWEST_NEIGHBOR_ASN = "lowest-neighbor-asn"
+
+
+def _keep_min(routes: List[Route], key: Callable[[Route], float]) -> List[Route]:
+    smallest = min(key(route) for route in routes)
+    return [route for route in routes if key(route) == smallest]
+
+
+def _highest_localpref(routes: List[Route]) -> List[Route]:
+    return _keep_min(routes, lambda r: -r.localpref)
+
+
+def _shortest_as_path(routes: List[Route]) -> List[Route]:
+    return _keep_min(routes, lambda r: r.path.length)
+
+
+def _lowest_med(routes: List[Route]) -> List[Route]:
+    return _keep_min(routes, lambda r: r.med)
+
+
+def _oldest_route(routes: List[Route]) -> List[Route]:
+    return _keep_min(routes, lambda r: r.installed_at)
+
+
+def _lowest_neighbor_asn(routes: List[Route]) -> List[Route]:
+    return _keep_min(
+        routes,
+        lambda r: r.learned_from if r.learned_from is not None else -1,
+    )
+
+
+_STEP_FUNCTIONS = {
+    Step.HIGHEST_LOCALPREF: _highest_localpref,
+    Step.SHORTEST_AS_PATH: _shortest_as_path,
+    Step.LOWEST_MED: _lowest_med,
+    Step.OLDEST_ROUTE: _oldest_route,
+    Step.LOWEST_NEIGHBOR_ASN: _lowest_neighbor_asn,
+}
+
+DEFAULT_STEPS: Tuple[Step, ...] = (
+    Step.HIGHEST_LOCALPREF,
+    Step.SHORTEST_AS_PATH,
+    Step.LOWEST_MED,
+    Step.OLDEST_ROUTE,
+    Step.LOWEST_NEIGHBOR_ASN,
+)
+
+
+@dataclass(frozen=True)
+class DecisionProcess:
+    """An ordered BGP decision process.
+
+    Use :meth:`standard` for the default process; pass
+    ``path_length_sensitive=False`` to model ASes that ignore AS path
+    length (Appendix A case J), or ``age_tiebreak=False`` for routers
+    that skip the oldest-route step.
+    """
+
+    steps: Tuple[Step, ...] = DEFAULT_STEPS
+
+    @classmethod
+    def standard(
+        cls,
+        path_length_sensitive: bool = True,
+        age_tiebreak: bool = True,
+    ) -> "DecisionProcess":
+        steps = [Step.HIGHEST_LOCALPREF]
+        if path_length_sensitive:
+            steps.append(Step.SHORTEST_AS_PATH)
+        steps.append(Step.LOWEST_MED)
+        if age_tiebreak:
+            steps.append(Step.OLDEST_ROUTE)
+        steps.append(Step.LOWEST_NEIGHBOR_ASN)
+        return cls(tuple(steps))
+
+    @property
+    def path_length_sensitive(self) -> bool:
+        return Step.SHORTEST_AS_PATH in self.steps
+
+    def best(self, routes: Iterable[Route]) -> Optional[Route]:
+        """Return the single best route, or None if *routes* is empty.
+
+        The final LOWEST_NEIGHBOR_ASN step guarantees a unique winner
+        among routes from distinct neighbors; if two candidates from the
+        same neighbor survive every step the process is ill-formed and a
+        PolicyError is raised.
+        """
+        candidates = list(routes)
+        if not candidates:
+            return None
+        for step in self.steps:
+            if len(candidates) == 1:
+                break
+            candidates = _STEP_FUNCTIONS[step](candidates)
+        if len(candidates) > 1:
+            # Distinct routes from the same neighbor for the same prefix
+            # should never coexist in an adj-RIB.
+            raise PolicyError(
+                "decision process did not yield a unique best route: %s"
+                % ("; ".join(str(route) for route in candidates),)
+            )
+        return candidates[0]
+
+    def ranks_equal(self, a: Route, b: Route) -> bool:
+        """True if *a* and *b* tie on every step before the final
+        neighbor-ASN tie-break (useful in tests)."""
+        for step in self.steps:
+            if step is Step.LOWEST_NEIGHBOR_ASN:
+                break
+            survivors = _STEP_FUNCTIONS[step]([a, b])
+            if len(survivors) == 1:
+                return False
+        return True
+
+
+def explain_choice(process: DecisionProcess, routes: Sequence[Route]) -> List[str]:
+    """Narrate the decision: one line per step describing the surviving
+    candidates.  Intended for examples and debugging output."""
+    lines: List[str] = []
+    candidates = list(routes)
+    if not candidates:
+        return ["no candidate routes"]
+    lines.append("%d candidate route(s)" % len(candidates))
+    for step in process.steps:
+        if len(candidates) == 1:
+            break
+        candidates = _STEP_FUNCTIONS[step](candidates)
+        lines.append(
+            "%s -> %d candidate(s): %s"
+            % (
+                step.value,
+                len(candidates),
+                "; ".join("[%s]" % route.path for route in candidates),
+            )
+        )
+    return lines

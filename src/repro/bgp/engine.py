@@ -1,0 +1,353 @@
+"""Event-driven BGP propagation engine.
+
+The engine delivers UPDATE/WITHDRAW messages between neighboring ASes
+with randomised (but deterministic, seeded) per-message delays, FIFO per
+session, until the network reaches a fixpoint.  It stamps route ages,
+counts per-session messages, and records every loc-RIB best change so
+collectors can reconstruct the update streams behind Figure 3.
+
+The engine is exact but message-driven; use :mod:`repro.bgp.fastpath`
+for bulk converged-state computation where churn does not matter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import EngineError
+from ..netutil import Prefix
+from ..rng import SeedTree
+from ..topology.graph import Topology
+from .attributes import Announcement, ASPath, Route
+from .policy import may_export
+from .rpki import rov_drops_route
+from .router import Router
+
+#: Default per-message propagation delay model (seconds).
+BASE_DELAY = 0.05
+MEAN_EXTRA_DELAY = 1.5
+
+#: Safety cap: a single convergence run delivering more messages than
+#: this indicates a policy dispute wheel (should not happen with
+#: Gao-Rexford-compliant policies).
+DEFAULT_MESSAGE_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A loc-RIB best change at one AS (what a full-feed collector
+    session from that AS would carry).
+
+    ``session_weight`` overrides the collector's per-feeder session
+    multiplicity; injected single-session events (background flaps) set
+    it to 1."""
+
+    time: float
+    asn: int
+    prefix: Prefix
+    route: Optional[Route]  # None = withdrawn
+    session_weight: Optional[int] = None
+
+
+@dataclass
+class ConvergenceStats:
+    """Summary of one run_to_fixpoint call."""
+
+    messages_delivered: int = 0
+    best_changes: int = 0
+    started_at: float = 0.0
+    converged_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.converged_at - self.started_at)
+
+
+@dataclass(order=True)
+class _Message:
+    deliver_at: float
+    seq: int
+    sender: int = field(compare=False)
+    receiver: int = field(compare=False)
+    prefix: Prefix = field(compare=False)
+    path: Optional[ASPath] = field(compare=False)
+    tag: str = field(compare=False, default="")
+
+
+class PropagationEngine:
+    """Propagates BGP routes over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The AS graph with per-AS policies.
+    seed_tree:
+        Source of deterministic message delays.
+    record_best_changes:
+        When True (default), every loc-RIB change is appended to
+        ``self.update_log`` — collectors consume this.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed_tree: Optional[SeedTree] = None,
+        record_best_changes: bool = True,
+        message_limit: int = DEFAULT_MESSAGE_LIMIT,
+        roa_table=None,
+    ) -> None:
+        self.topology = topology
+        self.roa_table = roa_table
+        self._rng = (seed_tree or SeedTree(0)).child("engine").rng()
+        self.routers: Dict[int, Router] = {
+            node.asn: Router(node.asn, node.policy)
+            for node in topology.ases()
+        }
+        self.now: float = 0.0
+        self.record_best_changes = record_best_changes
+        self.update_log: List[UpdateEvent] = []
+        self.session_message_counts: Dict[Tuple[int, int], int] = {}
+        self._heap: List[_Message] = []
+        self._seq = 0
+        self._last_scheduled: Dict[Tuple[int, int], float] = {}
+        self._down_links: Set[frozenset] = set()
+        self._message_limit = message_limit
+        self._announcements: Dict[Tuple[int, Prefix], Announcement] = {}
+
+    # ----- public control ------------------------------------------------
+
+    def router(self, asn: int) -> Router:
+        try:
+            return self.routers[asn]
+        except KeyError:
+            raise EngineError("no router for AS %d" % asn) from None
+
+    def announce(
+        self,
+        origin_asn: int,
+        prefix: Prefix,
+        prepends: Optional[Dict[int, int]] = None,
+        default_prepends: int = 0,
+        tag: str = "",
+    ) -> Announcement:
+        """(Re-)announce *prefix* from *origin_asn*.
+
+        ``prepends`` maps neighbor ASN to extra origin prepends for that
+        neighbor; unlisted neighbors get ``default_prepends`` plus any
+        per-neighbor prepends in the origin's own routing policy.
+        Re-announcing with different prepends models the experiment's
+        configuration changes.
+        """
+        announcement = Announcement(
+            prefix=prefix,
+            origin_asn=origin_asn,
+            prepends=dict(prepends or {}),
+            default_prepends=default_prepends,
+            tag=tag,
+        )
+        self._announcements[(origin_asn, prefix)] = announcement
+        router = self.router(origin_asn)
+        router.originate(prefix, tag=tag, now=self.now)
+        policy = self.topology.node(origin_asn).policy
+        for neighbor in sorted(self.topology.neighbors(origin_asn)):
+            if self._link_is_down(origin_asn, neighbor):
+                continue
+            if policy.blocks_export(neighbor, tag):
+                continue
+            extra = announcement.prepends_toward(neighbor)
+            extra += policy.prepends_toward(neighbor)
+            path = ASPath.origin_path(origin_asn, extra)
+            self._send(origin_asn, neighbor, prefix, path, tag)
+        return announcement
+
+    def withdraw(self, origin_asn: int, prefix: Prefix) -> None:
+        """Withdraw *prefix* at its origin."""
+        self._announcements.pop((origin_asn, prefix), None)
+        router = self.router(origin_asn)
+        change = router.withdraw_local(prefix)
+        if change.changed:
+            self._record_change(origin_asn, prefix, change.new)
+            self._export_after_change(origin_asn, prefix)
+        else:
+            for neighbor in sorted(self.topology.neighbors(origin_asn)):
+                if not self._link_is_down(origin_asn, neighbor):
+                    self._send(origin_asn, neighbor, prefix, None, "")
+
+    def set_link_down(self, a: int, b: int) -> None:
+        """Fail the a-b link: both sides lose routes learned over it."""
+        if not self.topology.has_link(a, b):
+            raise EngineError("no link %d-%d to fail" % (a, b))
+        self._down_links.add(frozenset((a, b)))
+        for local, remote in ((a, b), (b, a)):
+            router = self.router(local)
+            for prefix, change in router.drop_neighbor(remote):
+                self._record_change(local, prefix, change.new)
+                self._export_after_change(local, prefix)
+
+    def set_link_up(self, a: int, b: int) -> None:
+        """Restore the a-b link and re-advertise current bests across it."""
+        key = frozenset((a, b))
+        if key not in self._down_links:
+            return
+        self._down_links.remove(key)
+        for local, remote in ((a, b), (b, a)):
+            router = self.router(local)
+            for prefix in list(router.loc_rib):
+                self._export_to_neighbor(local, remote, prefix)
+
+    def run_to_fixpoint(self) -> ConvergenceStats:
+        """Deliver queued messages until the network is quiet."""
+        stats = ConvergenceStats(started_at=self.now)
+        delivered = 0
+        changes = 0
+        while self._heap:
+            message = heapq.heappop(self._heap)
+            if message.deliver_at > self.now:
+                self.now = message.deliver_at
+            delivered += 1
+            if delivered > self._message_limit:
+                raise EngineError(
+                    "message limit exceeded: likely policy dispute wheel"
+                )
+            if self._link_is_down(message.sender, message.receiver):
+                continue
+            receiver = self.router(message.receiver)
+            rel = self.topology.rel(message.receiver, message.sender)
+            path = message.path
+            if (
+                path is not None
+                and receiver.policy.enforce_rov
+                and rov_drops_route(self.roa_table, message.prefix,
+                                    path.origin)
+            ):
+                path = None  # RPKI-invalid: rejected on import (§2.3)
+            change = receiver.receive(
+                neighbor_asn=message.sender,
+                rel=rel,
+                prefix=message.prefix,
+                path=path,
+                now=self.now,
+                tag=message.tag,
+            )
+            if change.changed:
+                changes += 1
+                self._record_change(
+                    message.receiver, message.prefix, change.new
+                )
+                self._export_after_change(message.receiver, message.prefix)
+        stats.messages_delivered = delivered
+        stats.best_changes = changes
+        stats.converged_at = self.now
+        return stats
+
+    def advance_to(self, when: float) -> None:
+        """Move the engine clock forward (between experiment rounds)."""
+        if when < self.now:
+            raise EngineError("engine clock cannot move backwards")
+        self.now = when
+
+    # ----- data-plane helpers ---------------------------------------------
+
+    def best_route(self, asn: int, prefix: Prefix) -> Optional[Route]:
+        return self.router(asn).best_route(prefix)
+
+    # ----- internals --------------------------------------------------------
+
+    def _link_is_down(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._down_links
+
+    def _record_change(
+        self, asn: int, prefix: Prefix, route: Optional[Route]
+    ) -> None:
+        if self.record_best_changes:
+            self.update_log.append(
+                UpdateEvent(time=self.now, asn=asn, prefix=prefix, route=route)
+            )
+
+    def _export_after_change(self, asn: int, prefix: Prefix) -> None:
+        for neighbor in sorted(self.topology.neighbors(asn)):
+            if not self._link_is_down(asn, neighbor):
+                self._export_to_neighbor(asn, neighbor, prefix)
+
+    def _export_to_neighbor(self, asn: int, neighbor: int, prefix: Prefix) -> None:
+        """Send the current best for *prefix* (or a withdraw) to
+        *neighbor*, applying export policy and prepend policy."""
+        router = self.router(asn)
+        best = router.best_route(prefix)
+        topology = self.topology
+        policy = topology.node(asn).policy
+        if best is not None and policy.blocks_export(neighbor, best.tag):
+            best = None
+        to_rel = topology.rel(asn, neighbor)
+        if best is None:
+            if neighbor not in policy.no_export_to:
+                self._send(asn, neighbor, prefix, None, "")
+            return
+        if best.learned_from is None:
+            # Locally originated: handled by announce(); the stored
+            # announcement carries per-neighbor prepends.
+            announcement = self._announcements.get((asn, prefix))
+            extra = (
+                announcement.prepends_toward(neighbor)
+                if announcement is not None
+                else 0
+            )
+            extra += topology.node(asn).policy.prepends_toward(neighbor)
+            path = ASPath.origin_path(asn, extra)
+            self._send(asn, neighbor, prefix, path, best.tag)
+            return
+        learned_rel = topology.rel(asn, best.learned_from)
+        allowed = may_export(
+            learned_rel,
+            to_rel,
+            learned_fabric=topology.is_fabric(asn, best.learned_from),
+            to_fabric=topology.is_fabric(asn, neighbor),
+        )
+        if not allowed:
+            # If a previously exported route is no longer exportable,
+            # the neighbor must see a withdraw.
+            self._send(asn, neighbor, prefix, None, "")
+            return
+        if best.path.contains(neighbor):
+            # Receiver would reject it as a loop anyway; send withdraw
+            # to clear any stale state.
+            self._send(asn, neighbor, prefix, None, "")
+            return
+        prepends = 1 + topology.node(asn).policy.prepends_toward(neighbor)
+        path = best.path.prepended_by(asn, prepends)
+        self._send(asn, neighbor, prefix, path, best.tag)
+
+    def _send(
+        self,
+        sender: int,
+        receiver: int,
+        prefix: Prefix,
+        path: Optional[ASPath],
+        tag: str,
+    ) -> None:
+        session = (sender, receiver)
+        delay = BASE_DELAY + self._rng.expovariate(1.0 / MEAN_EXTRA_DELAY)
+        deliver_at = self.now + delay
+        # FIFO per session: never deliver before a previously sent message.
+        previous = self._last_scheduled.get(session, 0.0)
+        if deliver_at <= previous:
+            deliver_at = previous + 1e-6
+        self._last_scheduled[session] = deliver_at
+        self.session_message_counts[session] = (
+            self.session_message_counts.get(session, 0) + 1
+        )
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            _Message(
+                deliver_at=deliver_at,
+                seq=self._seq,
+                sender=sender,
+                receiver=receiver,
+                prefix=prefix,
+                path=path,
+                tag=tag,
+            ),
+        )

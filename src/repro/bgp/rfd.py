@@ -1,0 +1,124 @@
+"""Route flap damping (RFD) penalty model (RFC 2439 / RIPE-580).
+
+The paper (§3.3) spaces configuration changes one hour apart so that
+RFD suppression — enabled by ~9% of ASes, with observed suppress times
+under one hour [15] — cannot bias the probing rounds.  This module
+models the penalty bookkeeping so the experiment scheduler can verify
+that property, and so ablation benches can show what *would* happen
+with tighter spacing.
+
+Parameters follow common vendor defaults: penalty per flap 1000,
+suppress threshold 2000, reuse threshold 750, half-life 15 minutes,
+maximum suppress time 60 minutes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netutil import Prefix
+
+PENALTY_PER_FLAP = 1000.0
+SUPPRESS_THRESHOLD = 2000.0
+REUSE_THRESHOLD = 750.0
+HALF_LIFE_SECONDS = 15 * 60.0
+MAX_SUPPRESS_SECONDS = 60 * 60.0
+
+
+@dataclass
+class DampingState:
+    """Penalty state for one (prefix, session) pair."""
+
+    penalty: float = 0.0
+    last_updated: float = 0.0
+    suppressed_since: float = -1.0
+
+    def decayed_penalty(self, now: float) -> float:
+        elapsed = max(0.0, now - self.last_updated)
+        return self.penalty * math.pow(0.5, elapsed / HALF_LIFE_SECONDS)
+
+
+class RouteFlapDamper:
+    """Tracks RFD penalties per (prefix, session).
+
+    ``record_flap`` is called for each update/withdraw observed on the
+    session; ``is_suppressed`` answers whether the route would currently
+    be damped.
+    """
+
+    def __init__(
+        self,
+        penalty_per_flap: float = PENALTY_PER_FLAP,
+        suppress_threshold: float = SUPPRESS_THRESHOLD,
+        reuse_threshold: float = REUSE_THRESHOLD,
+        half_life: float = HALF_LIFE_SECONDS,
+        max_suppress: float = MAX_SUPPRESS_SECONDS,
+    ) -> None:
+        self.penalty_per_flap = penalty_per_flap
+        self.suppress_threshold = suppress_threshold
+        self.reuse_threshold = reuse_threshold
+        self.half_life = half_life
+        self.max_suppress = max_suppress
+        self._state: Dict[Tuple[Prefix, int], DampingState] = {}
+
+    def _decay(self, state: DampingState, now: float) -> None:
+        elapsed = max(0.0, now - state.last_updated)
+        state.penalty *= math.pow(0.5, elapsed / self.half_life)
+        state.last_updated = now
+
+    def record_flap(self, prefix: Prefix, session_asn: int, now: float) -> float:
+        """Record one flap; returns the new penalty."""
+        key = (prefix, session_asn)
+        state = self._state.setdefault(key, DampingState(last_updated=now))
+        self._decay(state, now)
+        state.penalty += self.penalty_per_flap
+        if (
+            state.penalty >= self.suppress_threshold
+            and state.suppressed_since < 0
+        ):
+            state.suppressed_since = now
+        return state.penalty
+
+    def is_suppressed(self, prefix: Prefix, session_asn: int, now: float) -> bool:
+        """Would this route currently be suppressed?"""
+        key = (prefix, session_asn)
+        state = self._state.get(key)
+        if state is None or state.suppressed_since < 0:
+            return False
+        if now - state.suppressed_since >= self.max_suppress:
+            state.suppressed_since = -1.0
+            return False
+        self._decay(state, now)
+        if state.penalty < self.reuse_threshold:
+            state.suppressed_since = -1.0
+            return False
+        return True
+
+    def penalty_of(self, prefix: Prefix, session_asn: int, now: float) -> float:
+        state = self._state.get((prefix, session_asn))
+        if state is None:
+            return 0.0
+        return state.decayed_penalty(now)
+
+
+def min_safe_spacing(flaps_per_change: int = 2) -> float:
+    """Smallest spacing between configuration changes (seconds) that
+    keeps the steady-state penalty below the suppress threshold.
+
+    Each configuration change causes *flaps_per_change* flaps on a
+    session.  Spacing T is safe when the geometric steady state
+    ``flaps * penalty / (1 - 0.5**(T/half_life))`` stays below the
+    suppress threshold.
+    """
+    if flaps_per_change < 1:
+        raise ValueError("flaps_per_change must be >= 1")
+    per_change = flaps_per_change * PENALTY_PER_FLAP
+    if per_change >= SUPPRESS_THRESHOLD:
+        # A single change can hit the threshold; no spacing prevents the
+        # first suppression window, so return the max suppress time.
+        return MAX_SUPPRESS_SECONDS
+    # Solve per_change / (1 - 0.5**(T/HL)) < SUPPRESS_THRESHOLD for T.
+    ratio = 1.0 - per_change / SUPPRESS_THRESHOLD
+    return HALF_LIFE_SECONDS * math.log(1.0 / ratio, 2.0)

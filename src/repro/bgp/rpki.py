@@ -1,0 +1,173 @@
+"""RPKI route origin validation and IRR route objects.
+
+§3.3: the measurement announcements "were covered by RPKI ROAs and IRR
+route objects" — without them, origin-validating networks would have
+dropped the announcements and biased the measurement.  §2.3 discusses
+the data-plane ROV measurements this machinery enables.
+
+The module provides ROA/IRR registries, RFC 6811 validation states,
+and an import filter the propagation engines consult for ASes that
+enforce ROV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import PolicyError
+from ..netutil import Prefix
+
+
+class ValidationState(Enum):
+    """RFC 6811 route origin validation states."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "not-found"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ROA:
+    """A Route Origin Authorization."""
+
+    prefix: Prefix
+    origin_asn: int
+    max_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        max_length = self.effective_max_length
+        if max_length < self.prefix.length or max_length > 32:
+            raise PolicyError(
+                "ROA max length %d invalid for %s"
+                % (max_length, self.prefix)
+            )
+
+    @property
+    def effective_max_length(self) -> int:
+        return (
+            self.max_length
+            if self.max_length is not None
+            else self.prefix.length
+        )
+
+    def covers(self, prefix: Prefix) -> bool:
+        return (
+            self.prefix.covers(prefix)
+            and prefix.length <= self.effective_max_length
+        )
+
+
+@dataclass(frozen=True)
+class IRRRouteObject:
+    """An IRR ``route:`` object (documented, not validated, intent)."""
+
+    prefix: Prefix
+    origin_asn: int
+    source: str = "RADB"
+
+
+class ROATable:
+    """Validated ROA payloads, queried at import time."""
+
+    def __init__(self, roas: Iterable[ROA] = ()) -> None:
+        self._roas: List[ROA] = []
+        for roa in roas:
+            self.add(roa)
+
+    def add(self, roa: ROA) -> None:
+        self._roas.append(roa)
+
+    def __len__(self) -> int:
+        return len(self._roas)
+
+    def covering(self, prefix: Prefix) -> List[ROA]:
+        return [roa for roa in self._roas if roa.covers(prefix)]
+
+    def validate(self, prefix: Prefix, origin_asn: int) -> ValidationState:
+        """RFC 6811: VALID if any covering ROA authorises the origin;
+        INVALID if covering ROAs exist but none match; NOT_FOUND
+        otherwise."""
+        covering = self.covering(prefix)
+        if not covering:
+            return ValidationState.NOT_FOUND
+        for roa in covering:
+            if roa.origin_asn == origin_asn:
+                return ValidationState.VALID
+        return ValidationState.INVALID
+
+
+class IRRRegistry:
+    """IRR route objects by prefix."""
+
+    def __init__(self, objects: Iterable[IRRRouteObject] = ()) -> None:
+        self._objects: Dict[Prefix, List[IRRRouteObject]] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def add(self, obj: IRRRouteObject) -> None:
+        self._objects.setdefault(obj.prefix, []).append(obj)
+
+    def objects_for(self, prefix: Prefix) -> List[IRRRouteObject]:
+        return list(self._objects.get(prefix, ()))
+
+    def documents(self, prefix: Prefix, origin_asn: int) -> bool:
+        return any(
+            obj.origin_asn == origin_asn
+            for obj in self.objects_for(prefix)
+        )
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._objects.values())
+
+
+@dataclass
+class MeasurementRegistrations:
+    """The paper's registrations: ROAs and IRR objects for every origin
+    the measurement prefix is announced with (§3.3)."""
+
+    roa_table: ROATable = field(default_factory=ROATable)
+    irr: IRRRegistry = field(default_factory=IRRRegistry)
+
+    @classmethod
+    def for_ecosystem(cls, ecosystem) -> "MeasurementRegistrations":
+        registrations = cls()
+        prefix = ecosystem.measurement_prefix
+        for origin in (
+            ecosystem.commodity_origin,
+            ecosystem.surf_origin,
+            ecosystem.internet2_origin,
+        ):
+            registrations.roa_table.add(
+                ROA(prefix=prefix, origin_asn=origin,
+                    max_length=prefix.length)
+            )
+            registrations.irr.add(
+                IRRRouteObject(prefix=prefix, origin_asn=origin)
+            )
+        return registrations
+
+    def announcement_is_clean(self, prefix: Prefix, origin: int) -> bool:
+        """Would this announcement survive ROV *and* match documented
+        intent?"""
+        return (
+            self.roa_table.validate(prefix, origin)
+            is ValidationState.VALID
+            and self.irr.documents(prefix, origin)
+        )
+
+
+def rov_drops_route(
+    roa_table: Optional[ROATable], prefix: Prefix, origin_asn: int
+) -> bool:
+    """Import-filter predicate for ROV-enforcing ASes: drop INVALID,
+    accept VALID and NOT_FOUND (standard deployed policy)."""
+    if roa_table is None:
+        return False
+    return roa_table.validate(prefix, origin_asn) is (
+        ValidationState.INVALID
+    )

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+- ``reproduce`` — run the full reproduction and print every table and
+  figure (optionally writing probe/update JSONL files);
+- ``classify`` — re-run the per-prefix classification over a
+  scamper-style JSONL results file produced by ``reproduce --export``
+  or :func:`repro.dataio.dump_experiment_file`;
+- ``age-model`` — print the Figure 7 state diagrams;
+- ``funnel`` — print the §3.2 seed coverage funnel for a fresh
+  ecosystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.age_model import simulate_age_cases
+from .core.classify import InferenceCategory, RoundSignal, classify_signals
+from .core.report import reproduce_paper
+from .dataio import dump_experiment_file, dump_update_log
+from .dataio.json_results import (
+    load_experiment_records_file,
+    signals_from_records,
+)
+from .rng import SeedTree
+from .seeds import select_seeds
+from .topology.re_config import REEcosystemConfig
+from .topology.re_ecosystem import build_ecosystem
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'R&E Routing Policy: Inference and "
+            "Implication' (IMC 2025)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the full reproduction and print the report"
+    )
+    reproduce.add_argument("--scale", type=float, default=0.1,
+                           help="population scale (1.0 = paper size)")
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.add_argument(
+        "--export", metavar="DIR",
+        help="also write probe/update JSONL files into DIR",
+    )
+    reproduce.add_argument(
+        "--figures", action="store_true",
+        help="also render Figures 3/5/8 as terminal plots",
+    )
+
+    classify = sub.add_parser(
+        "classify", help="classify prefixes from a JSONL results file"
+    )
+    classify.add_argument("results", help="probe JSONL file")
+    classify.add_argument(
+        "--summary-only", action="store_true",
+        help="print only the category counts",
+    )
+
+    sub.add_parser("age-model", help="print the Figure 7 state diagrams")
+
+    funnel = sub.add_parser(
+        "funnel", help="print the seed coverage funnel (§3.2)"
+    )
+    funnel.add_argument("--scale", type=float, default=0.1)
+    funnel.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    report = reproduce_paper(
+        REEcosystemConfig(scale=args.scale), seed=args.seed
+    )
+    print(report.render())
+    if args.figures:
+        from .core.figures import (
+            render_churn_figure,
+            render_region_map,
+            render_switch_cdf_figure,
+        )
+
+        print("\nFigure 3 (Internet2 churn):")
+        print(render_churn_figure(report.churn_internet2,
+                                  report.internet2_result.round_times))
+        print("\n" + render_region_map(report.figure5))
+        print("\n" + render_region_map(report.figure5, us_states=True))
+        print("\nFigure 8 (SURF):")
+        print(render_switch_cdf_figure(report.figure8_surf))
+        print("\nFigure 8 (Internet2):")
+        print(render_switch_cdf_figure(report.figure8_internet2))
+    if args.export:
+        os.makedirs(args.export, exist_ok=True)
+        for result in (report.surf_result, report.internet2_result):
+            path = os.path.join(
+                args.export, "%s_probes.jsonl" % result.experiment
+            )
+            count = dump_experiment_file(result, path)
+            print("wrote %d records to %s" % (count, path))
+            updates_path = os.path.join(
+                args.export, "%s_updates.jsonl" % result.experiment
+            )
+            with open(updates_path, "w", encoding="utf-8") as stream:
+                count = dump_update_log(result.update_log, stream)
+            print("wrote %d records to %s" % (count, updates_path))
+    return 0
+
+
+_SIGNAL_TABLE = {
+    "re": RoundSignal.RE,
+    "commodity": RoundSignal.COMMODITY,
+    "both": RoundSignal.BOTH,
+    "none": RoundSignal.NONE,
+}
+
+
+def _cmd_classify(args) -> int:
+    records = load_experiment_records_file(args.results)
+    signals = signals_from_records(records)
+    counts = {}
+    for prefix_text in sorted(signals):
+        category = classify_signals(
+            [_SIGNAL_TABLE[s] for s in signals[prefix_text]]
+        )
+        counts[category] = counts.get(category, 0) + 1
+        if not args.summary_only:
+            print("%-22s %s" % (prefix_text, category.value))
+    total = sum(counts.values())
+    print("\n%d prefixes:" % total)
+    for category in InferenceCategory:
+        if counts.get(category):
+            print(
+                "  %-26s %6d (%.1f%%)"
+                % (category.value, counts[category],
+                   100.0 * counts[category] / total)
+            )
+    return 0
+
+
+def _cmd_age_model(_args) -> int:
+    print("Figure 7: route selection per configuration "
+          "(R = R&E, C = commodity)\n")
+    for case in simulate_age_cases():
+        print(case.render())
+    return 0
+
+
+def _cmd_funnel(args) -> int:
+    ecosystem = build_ecosystem(
+        REEcosystemConfig(scale=args.scale), seed=args.seed
+    )
+    plan = select_seeds(ecosystem, seed_tree=SeedTree(args.seed))
+    for row in plan.funnel.as_rows():
+        print(row)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "reproduce": _cmd_reproduce,
+        "classify": _cmd_classify,
+        "age-model": _cmd_age_model,
+        "funnel": _cmd_funnel,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

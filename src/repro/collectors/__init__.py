@@ -1,0 +1,26 @@
+"""Public BGP collector substrate (RouteViews / RIPE RIS analogue).
+
+- :mod:`repro.collectors.collector` — collectors with weighted peer
+  sessions, ingesting the engine's update log;
+- :mod:`repro.collectors.rib` — converged RIB snapshots over the studied
+  prefix set (Table 4, Figure 5 inputs);
+- :mod:`repro.collectors.churn` — the Figure 3 update-churn timeline.
+"""
+
+from .collector import Collector, CollectorUpdate
+from .rib import CollectorRIB, RIBEntry, build_collector_rib
+from .churn import ChurnPhase, ChurnReport, build_churn_report
+from .looking_glass import LookingGlass, LookingGlassDirectory
+
+__all__ = [
+    "Collector",
+    "CollectorUpdate",
+    "CollectorRIB",
+    "RIBEntry",
+    "build_collector_rib",
+    "ChurnPhase",
+    "ChurnReport",
+    "build_churn_report",
+    "LookingGlass",
+    "LookingGlassDirectory",
+]

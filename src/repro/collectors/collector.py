@@ -1,0 +1,99 @@
+"""Collectors with weighted peer sessions.
+
+A feeder AS may peer with the collector system from several routers
+(RouteViews and RIS each see hundreds of sessions); ``sessions[asn]``
+weights how many update streams a best-route change at that AS
+produces, which is what the paper counts in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..bgp.engine import UpdateEvent
+from ..netutil import Prefix
+
+
+@dataclass(frozen=True)
+class CollectorUpdate:
+    """One update message as recorded by the collector."""
+
+    time: float
+    feeder_asn: int
+    sessions: int               # simultaneous sessions carrying it
+    prefix: Prefix
+    origin_asn: Optional[int]   # None: withdraw
+    tag: str
+    path: Tuple[int, ...]
+
+
+class Collector:
+    """A RouteViews/RIS-style collector."""
+
+    def __init__(self, name: str, sessions: Dict[int, int]) -> None:
+        self.name = name
+        self.sessions = dict(sessions)
+        self.updates: List[CollectorUpdate] = []
+
+    def ingest(self, update_log: Iterable[UpdateEvent]) -> int:
+        """Convert engine best-change events from feeder ASes into
+        collector updates; returns how many were recorded."""
+        added = 0
+        for event in update_log:
+            weight = self.sessions.get(event.asn)
+            if not weight:
+                continue
+            if event.session_weight is not None:
+                weight = min(weight, event.session_weight)
+            route = event.route
+            self.updates.append(
+                CollectorUpdate(
+                    time=event.time,
+                    feeder_asn=event.asn,
+                    sessions=weight,
+                    prefix=event.prefix,
+                    origin_asn=route.origin_asn if route else None,
+                    tag=route.tag if route else "",
+                    path=route.path.asns if route else (),
+                )
+            )
+            added += 1
+        self.updates.sort(key=lambda u: u.time)
+        return added
+
+    def message_count(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Session-weighted update count in a window (what Figure 3's
+        cumulative axis shows)."""
+        total = 0
+        for update in self.updates:
+            if start is not None and update.time < start:
+                continue
+            if end is not None and update.time >= end:
+                continue
+            if tag is not None and update.tag != tag:
+                continue
+            total += update.sessions
+        return total
+
+    def origins_seen(
+        self,
+        feeder_asn: int,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[int]:
+        """Distinct origin ASes this feeder reported in the window."""
+        origins = {
+            update.origin_asn
+            for update in self.updates
+            if update.feeder_asn == feeder_asn
+            and update.origin_asn is not None
+            and (start is None or update.time >= start)
+            and (end is None or update.time < end)
+        }
+        return sorted(origins)

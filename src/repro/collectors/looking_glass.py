@@ -1,0 +1,118 @@
+"""Looking glass substrate.
+
+Wang & Gao (2003) and Kastanakis et al. (2023) inferred localpref
+policies from router looking glasses, and the paper confirmed NIKS's
+policy via its public looking glass [27].  This module exposes the
+same view over simulated routers: structured candidate routes with
+their localpref values, plus a textual ``show ip bgp``-style rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bgp.engine import PropagationEngine
+from ..bgp.router import Router
+from ..errors import AnalysisError
+from ..netutil import Prefix
+from ..topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class LGEntry:
+    """One candidate route as a looking glass shows it."""
+
+    neighbor_asn: Optional[int]
+    path: tuple
+    localpref: int
+    best: bool
+
+    def render(self) -> str:
+        marker = "*>" if self.best else "* "
+        path_text = " ".join(str(asn) for asn in self.path)
+        return "%s %-40s LocPrf %d" % (marker, path_text or "local",
+                                       self.localpref)
+
+
+class LookingGlass:
+    """A read-only window onto one AS's BGP state."""
+
+    def __init__(self, asn: int, router: Router,
+                 topology: Topology) -> None:
+        self.asn = asn
+        self._router = router
+        self._topology = topology
+
+    def routes(self, prefix: Prefix) -> List[LGEntry]:
+        """All candidate routes for *prefix*, best first."""
+        best = self._router.best_route(prefix)
+        entries = [
+            LGEntry(
+                neighbor_asn=route.learned_from,
+                path=route.path.asns,
+                localpref=route.localpref,
+                best=route == best,
+            )
+            for route in self._router.candidate_routes(prefix)
+        ]
+        entries.sort(key=lambda e: (not e.best, e.neighbor_asn or -1))
+        return entries
+
+    def neighbor_localprefs(self) -> Dict[int, int]:
+        """Localpref assigned per neighbor, as visible from routes the
+        looking glass currently holds (what the 2003/2023 studies
+        scraped)."""
+        seen: Dict[int, int] = {}
+        for prefix in self._router.adj_rib_in:
+            for route in self._router.candidate_routes(prefix):
+                if route.learned_from is not None:
+                    seen[route.learned_from] = route.localpref
+        return seen
+
+    def show_bgp(self, prefix: Prefix) -> str:
+        """Textual ``show ip bgp <prefix>`` output."""
+        entries = self.routes(prefix)
+        if not entries:
+            return "%% Network not in table"
+        lines = ["BGP routing table entry for %s" % prefix]
+        lines += [entry.render() for entry in entries]
+        return "\n".join(lines)
+
+
+class LookingGlassDirectory:
+    """The set of ASes that operate a public looking glass."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._glasses: Dict[int, LookingGlass] = {}
+
+    def register(self, asn: int, router: Router) -> LookingGlass:
+        glass = LookingGlass(asn, router, self._topology)
+        self._glasses[asn] = glass
+        return glass
+
+    def glass(self, asn: int) -> LookingGlass:
+        try:
+            return self._glasses[asn]
+        except KeyError:
+            raise AnalysisError(
+                "AS %d does not operate a looking glass" % asn
+            ) from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._glasses
+
+    def asns(self) -> List[int]:
+        return sorted(self._glasses)
+
+    @classmethod
+    def from_engine(
+        cls, engine: PropagationEngine, asns: List[int]
+    ) -> "LookingGlassDirectory":
+        """Register looking glasses for the given ASes over an engine's
+        live routers."""
+        directory = cls(engine.topology)
+        for asn in asns:
+            directory.register(asn, engine.router(asn))
+        return directory

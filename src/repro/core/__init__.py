@@ -1,0 +1,70 @@
+"""The paper's contribution: route-preference inference and analyses.
+
+- :mod:`repro.core.classify` — per-prefix inference from probing rounds;
+- :mod:`repro.core.aggregate` — Table 1 (prefix and AS counts);
+- :mod:`repro.core.compare` — Table 2 (SURF vs Internet2, NIKS effect);
+- :mod:`repro.core.validation` — Table 3 (public-view congruence) and
+  §4.1.2 operator ground truth;
+- :mod:`repro.core.prepend_analysis` — Table 4 (prepending vs inference);
+- :mod:`repro.core.ripe` — §4.3 / Figure 5 (equal-localpref selection);
+- :mod:`repro.core.switch_cdf` — §B / Figure 8 (when ASes switched);
+- :mod:`repro.core.age_model` — §A / Figure 7 (route-age interplay);
+- :mod:`repro.core.report` — plain-text table rendering.
+"""
+
+from .classify import (
+    InferenceCategory,
+    PrefixInference,
+    RoundSignal,
+    classify_experiment,
+    classify_prefix_rounds,
+)
+from .aggregate import Table1, build_table1
+from .compare import Table2, build_table2
+from .validation import (
+    GroundTruthReport,
+    Table3,
+    build_table3,
+    operator_ground_truth,
+)
+from .prepend_analysis import Table4, build_table4
+from .ripe import Figure5, build_figure5
+from .switch_cdf import Figure8, build_figure8
+from .age_model import AgeModelCase, simulate_age_cases
+from .survey import (
+    AnnouncementSpec,
+    PreferenceSurvey,
+    SurveyCategory,
+    infer_equal_localpref,
+)
+from .prediction import PredictionReport, build_prediction_report
+
+__all__ = [
+    "InferenceCategory",
+    "PrefixInference",
+    "RoundSignal",
+    "classify_experiment",
+    "classify_prefix_rounds",
+    "Table1",
+    "build_table1",
+    "Table2",
+    "build_table2",
+    "Table3",
+    "build_table3",
+    "GroundTruthReport",
+    "operator_ground_truth",
+    "Table4",
+    "build_table4",
+    "Figure5",
+    "build_figure5",
+    "Figure8",
+    "build_figure8",
+    "AgeModelCase",
+    "simulate_age_cases",
+    "AnnouncementSpec",
+    "PreferenceSurvey",
+    "SurveyCategory",
+    "infer_equal_localpref",
+    "PredictionReport",
+    "build_prediction_report",
+]

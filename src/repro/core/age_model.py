@@ -1,0 +1,197 @@
+"""§A / Figure 7: the interplay of AS path length and route age.
+
+Figure 7's state diagrams show, for a network holding equal-localpref
+R&E and commodity routes, which route is selected at each prepend
+configuration given the relative base path lengths (cases A-I) or when
+the network ignores path length and keeps the oldest route (case J).
+
+The simulation drives a real :class:`~repro.bgp.router.Router` through
+the announcement sequence: the changed announcement's route is
+re-installed (resetting its age) exactly as the experiment's
+re-announcements did, so the age semantics come from the same code the
+experiments run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..bgp.attributes import ASPath
+from ..bgp.policy import Rel, RoutingPolicy
+from ..bgp.router import Router
+from ..experiment.schedule import PREPEND_SEQUENCE, parse_prepend_config
+from ..netutil import Prefix
+
+_PREFIX = Prefix.parse("163.253.63.0/24")
+_RE_NEIGHBOR = 64601
+_COMMODITY_NEIGHBOR = 64602
+_RE_ORIGIN = 11537
+_COMMODITY_ORIGIN = 396955
+_HOUR = 3600.0
+
+
+@dataclass
+class AgeModelCase:
+    """One row of Figure 7."""
+
+    label: str
+    description: str
+    selections: List[str] = field(default_factory=list)  # "re"/"commodity"
+    configs: Tuple[str, ...] = PREPEND_SEQUENCE
+
+    @property
+    def switch_config(self) -> Optional[str]:
+        """First configuration whose selection is R&E after commodity."""
+        previous = None
+        for config, selection in zip(self.configs, self.selections):
+            if previous == "commodity" and selection == "re":
+                return config
+            previous = selection
+        return None
+
+    @property
+    def transitions(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.selections, self.selections[1:])
+            if a != b
+        )
+
+    def render(self) -> str:
+        marks = " ".join(
+            "%s:%s" % (config, "R" if sel == "re" else "C")
+            for config, sel in zip(self.configs, self.selections)
+        )
+        return "%-40s %s" % (self.description, marks)
+
+
+def _re_path(base_length: int, prepends: int) -> ASPath:
+    """An R&E-side path of the given base length plus origin prepends."""
+    middle = tuple(range(64700, 64700 + base_length - 1))
+    return ASPath(middle + (_RE_ORIGIN,) * (1 + prepends))
+
+
+def _commodity_path(base_length: int, prepends: int) -> ASPath:
+    middle = tuple(range(64800, 64800 + base_length - 1))
+    return ASPath(middle + (_COMMODITY_ORIGIN,) * (1 + prepends))
+
+
+def _simulate(
+    re_base: int,
+    commodity_base: int,
+    path_length_sensitive: bool,
+    re_older_at_start: bool,
+    configs: Tuple[str, ...] = PREPEND_SEQUENCE,
+) -> List[str]:
+    """Drive one network through the announcement sequence and return
+    its selected route type at each probing window."""
+    policy = RoutingPolicy(
+        localpref={_RE_NEIGHBOR: 100, _COMMODITY_NEIGHBOR: 100},
+        path_length_sensitive=path_length_sensitive,
+    )
+    router = Router(64600, policy)
+    parsed = [parse_prepend_config(config) for config in configs]
+
+    # Pre-experiment state: the commodity route has been up for a long
+    # time; the R&E route appears at the first configuration.  Case J's
+    # second row flips the initial ages.
+    now = 0.0
+    commodity_age = -30 * 24 * _HOUR if not re_older_at_start else -1 * _HOUR
+    router.receive(
+        _COMMODITY_NEIGHBOR, Rel.PROVIDER, _PREFIX,
+        _commodity_path(commodity_base, parsed[0][1]), commodity_age,
+        tag="commodity",
+    )
+    re_age = now if not re_older_at_start else -60 * 24 * _HOUR
+    router.receive(
+        _RE_NEIGHBOR, Rel.PROVIDER, _PREFIX,
+        _re_path(re_base, parsed[0][0]), re_age, tag="re",
+    )
+
+    selections: List[str] = []
+    previous = parsed[0]
+    for index, (re_p, comm_p) in enumerate(parsed):
+        if index > 0:
+            now += _HOUR
+            if re_p != previous[0]:
+                router.receive(
+                    _RE_NEIGHBOR, Rel.PROVIDER, _PREFIX,
+                    _re_path(re_base, re_p), now, tag="re",
+                )
+            if comm_p != previous[1]:
+                router.receive(
+                    _COMMODITY_NEIGHBOR, Rel.PROVIDER, _PREFIX,
+                    _commodity_path(commodity_base, comm_p), now,
+                    tag="commodity",
+                )
+        previous = (re_p, comm_p)
+        best = router.best_route(_PREFIX)
+        selections.append(best.tag)
+    return selections
+
+
+def simulate_age_cases(
+    configs: Tuple[str, ...] = PREPEND_SEQUENCE,
+) -> List[AgeModelCase]:
+    """Reproduce Figure 7's cases A-J.
+
+    Cases A-I vary the R&E route's base path length from 4 shorter to
+    4 longer than the commodity route's; case J uses a path-length-
+    insensitive network with both initial age orders.
+    """
+    cases: List[AgeModelCase] = []
+    base = 6
+    letters = "ABCDEFGHI"
+    for index, delta in enumerate(range(-4, 5)):
+        # delta = re_length - commodity_length
+        if delta < 0:
+            description = (
+                "(%s) R&E path shorter by %d" % (letters[index], -delta)
+            )
+        elif delta == 0:
+            description = "(%s) equal AS path lengths" % letters[index]
+        else:
+            description = (
+                "(%s) R&E path longer by %d" % (letters[index], delta)
+            )
+        selections = _simulate(
+            re_base=base + delta,
+            commodity_base=base,
+            path_length_sensitive=True,
+            re_older_at_start=False,
+            configs=configs,
+        )
+        cases.append(
+            AgeModelCase(
+                label=letters[index],
+                description=description,
+                selections=selections,
+                configs=configs,
+            )
+        )
+    cases.append(
+        AgeModelCase(
+            label="J1",
+            description="(J) ignores path length, commodity older",
+            selections=_simulate(
+                re_base=base, commodity_base=base,
+                path_length_sensitive=False, re_older_at_start=False,
+                configs=configs,
+            ),
+            configs=configs,
+        )
+    )
+    cases.append(
+        AgeModelCase(
+            label="J2",
+            description="(J) ignores path length, R&E older",
+            selections=_simulate(
+                re_base=base, commodity_base=base,
+                path_length_sensitive=False, re_older_at_start=True,
+                configs=configs,
+            ),
+            configs=configs,
+        )
+    )
+    return cases

@@ -1,0 +1,114 @@
+"""Table 1: inference results by prefix and by origin AS.
+
+The AS columns intentionally sum to more than 100%: an AS appears in
+every category any of its prefixes landed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .classify import (
+    ExperimentInference,
+    InferenceCategory,
+    TABLE1_ORDER,
+)
+
+
+@dataclass
+class Table1Row:
+    category: InferenceCategory
+    prefixes: int
+    prefix_share: float
+    ases: int
+    as_share: float
+
+
+@dataclass
+class Table1:
+    """One experiment's Table 1."""
+
+    experiment: str
+    rows: List[Table1Row] = field(default_factory=list)
+    total_prefixes: int = 0
+    total_ases: int = 0
+    excluded_loss_prefixes: int = 0
+
+    def row(self, category: InferenceCategory) -> Table1Row:
+        for row in self.rows:
+            if row.category is category:
+                return row
+        raise KeyError(category)
+
+    def render(self) -> str:
+        lines = [
+            "Table 1 (%s): results for tested prefixes" % self.experiment,
+            "%-28s %9s %7s %8s %7s"
+            % ("Inference", "Prefixes", "%", "ASes", "%"),
+        ]
+        for row in self.rows:
+            lines.append(
+                "%-28s %9d %6.1f%% %8d %6.1f%%"
+                % (
+                    row.category.value,
+                    row.prefixes,
+                    row.prefix_share * 100.0,
+                    row.ases,
+                    row.as_share * 100.0,
+                )
+            )
+        lines.append(
+            "%-28s %9d %7s %8d"
+            % ("Total:", self.total_prefixes, "", self.total_ases)
+        )
+        lines.append(
+            "(%d prefixes excluded for packet loss)"
+            % self.excluded_loss_prefixes
+        )
+        return "\n".join(lines)
+
+
+def build_table1(inference: ExperimentInference) -> Table1:
+    """Aggregate one experiment's classifications into Table 1."""
+    characterized = inference.characterized()
+    total_prefixes = len(characterized)
+    as_categories: Dict[int, Set[InferenceCategory]] = {}
+    prefix_counts: Dict[InferenceCategory, int] = {
+        category: 0 for category in TABLE1_ORDER
+    }
+    for item in characterized:
+        prefix_counts[item.category] += 1
+        as_categories.setdefault(item.origin_asn, set()).add(item.category)
+    total_ases = len(as_categories)
+
+    table = Table1(
+        experiment=inference.experiment,
+        total_prefixes=total_prefixes,
+        total_ases=total_ases,
+        excluded_loss_prefixes=sum(
+            1
+            for item in inference.inferences.values()
+            if not item.characterized
+        ),
+    )
+    for category in TABLE1_ORDER:
+        as_count = sum(
+            1
+            for categories in as_categories.values()
+            if category in categories
+        )
+        table.rows.append(
+            Table1Row(
+                category=category,
+                prefixes=prefix_counts[category],
+                prefix_share=(
+                    prefix_counts[category] / total_prefixes
+                    if total_prefixes
+                    else 0.0
+                ),
+                ases=as_count,
+                as_share=as_count / total_ases if total_ases else 0.0,
+            )
+        )
+    return table

@@ -1,0 +1,193 @@
+"""Per-prefix route-preference classification (§4).
+
+Each probing round yields a *signal* for a prefix: did responses arrive
+over R&E, commodity, both ("mixed"), or not at all.  The sequence of
+signals across the nine configurations maps to the paper's six
+inference categories:
+
+- **always R&E / always commodity** — no transitions;
+- **switch to R&E** — exactly one commodity→R&E transition, the
+  equal-localpref signature given the prepend ordering (§3.3);
+- **switch to commodity** — one R&E→commodity transition, which the
+  ordering makes unexpected (an outage signature, §4);
+- **mixed** — at least one round with both route types;
+- **oscillating** — two or more transitions;
+- prefixes missing a response in any round are excluded (packet loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AnalysisError
+from ..experiment.records import ExperimentResult
+from ..netutil import Prefix
+
+
+class RoundSignal(Enum):
+    """What one probing round showed for one prefix."""
+
+    RE = "re"
+    COMMODITY = "commodity"
+    BOTH = "both"
+    NONE = "none"
+
+
+class InferenceCategory(Enum):
+    """The paper's Table 1 categories, plus the loss exclusion."""
+
+    ALWAYS_RE = "Always R&E"
+    ALWAYS_COMMODITY = "Always commodity"
+    SWITCH_TO_RE = "Switch to R&E"
+    SWITCH_TO_COMMODITY = "Switch to commodity"
+    MIXED = "Mixed R&E + commodity"
+    OSCILLATING = "Oscillating"
+    EXCLUDED_LOSS = "Excluded (packet loss)"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 1's row order.
+TABLE1_ORDER = (
+    InferenceCategory.ALWAYS_RE,
+    InferenceCategory.ALWAYS_COMMODITY,
+    InferenceCategory.SWITCH_TO_RE,
+    InferenceCategory.SWITCH_TO_COMMODITY,
+    InferenceCategory.MIXED,
+    InferenceCategory.OSCILLATING,
+)
+
+
+@dataclass
+class PrefixInference:
+    """Classification of one prefix in one experiment."""
+
+    prefix: Prefix
+    origin_asn: int
+    category: InferenceCategory
+    signals: List[RoundSignal] = field(default_factory=list)
+    switch_round: Optional[int] = None   # round index of the transition
+    switch_config: Optional[str] = None  # its prepend configuration
+
+    @property
+    def characterized(self) -> bool:
+        return self.category is not InferenceCategory.EXCLUDED_LOSS
+
+
+def classify_signals(signals: Sequence[RoundSignal]) -> InferenceCategory:
+    """Map a signal sequence to a category (see module docstring)."""
+    if not signals:
+        raise AnalysisError("cannot classify an empty signal sequence")
+    if any(signal is RoundSignal.NONE for signal in signals):
+        return InferenceCategory.EXCLUDED_LOSS
+    if any(signal is RoundSignal.BOTH for signal in signals):
+        return InferenceCategory.MIXED
+    transitions = sum(
+        1 for a, b in zip(signals, signals[1:]) if a is not b
+    )
+    if transitions == 0:
+        if signals[0] is RoundSignal.RE:
+            return InferenceCategory.ALWAYS_RE
+        return InferenceCategory.ALWAYS_COMMODITY
+    if transitions == 1:
+        if signals[-1] is RoundSignal.RE:
+            return InferenceCategory.SWITCH_TO_RE
+        return InferenceCategory.SWITCH_TO_COMMODITY
+    return InferenceCategory.OSCILLATING
+
+
+def _round_signal(responses) -> RoundSignal:
+    kinds = {
+        response.interface_kind
+        for response in responses
+        if response.responded and response.interface_kind
+    }
+    if not kinds:
+        return RoundSignal.NONE
+    if len(kinds) > 1:
+        return RoundSignal.BOTH
+    return RoundSignal.RE if "re" in kinds else RoundSignal.COMMODITY
+
+
+def classify_prefix_rounds(
+    prefix: Prefix,
+    origin_asn: int,
+    per_round_responses: Sequence[Sequence],
+    configs: Sequence[str],
+) -> PrefixInference:
+    """Classify one prefix from its per-round response lists."""
+    if len(per_round_responses) != len(configs):
+        raise AnalysisError("round count does not match config count")
+    signals = [_round_signal(responses) for responses in per_round_responses]
+    category = classify_signals(signals)
+    inference = PrefixInference(
+        prefix=prefix,
+        origin_asn=origin_asn,
+        category=category,
+        signals=signals,
+    )
+    if category in (
+        InferenceCategory.SWITCH_TO_RE,
+        InferenceCategory.SWITCH_TO_COMMODITY,
+    ):
+        for index, (a, b) in enumerate(zip(signals, signals[1:])):
+            if a is not b:
+                inference.switch_round = index + 1
+                inference.switch_config = configs[index + 1]
+                break
+    return inference
+
+
+@dataclass
+class ExperimentInference:
+    """All prefix classifications for one experiment."""
+
+    experiment: str
+    inferences: Dict[Prefix, PrefixInference] = field(default_factory=dict)
+
+    def characterized(self) -> List[PrefixInference]:
+        return [i for i in self.inferences.values() if i.characterized]
+
+    def of_category(self, category: InferenceCategory) -> List[PrefixInference]:
+        return [
+            i for i in self.inferences.values() if i.category is category
+        ]
+
+    def by_as(self) -> Dict[int, List[PrefixInference]]:
+        out: Dict[int, List[PrefixInference]] = {}
+        for inference in self.inferences.values():
+            out.setdefault(inference.origin_asn, []).append(inference)
+        return out
+
+
+def classify_experiment(
+    result: ExperimentResult,
+    origin_of: Dict[Prefix, int],
+) -> ExperimentInference:
+    """Classify every probed prefix of an experiment.
+
+    ``origin_of`` maps prefixes to their origin ASN (from the
+    ecosystem's topology).
+    """
+    configs = list(result.schedule.configs)
+    out = ExperimentInference(experiment=result.experiment)
+    for prefix in result.seed_plan.targets:
+        per_round = [
+            round_result.responses.get(prefix, [])
+            for round_result in result.rounds
+        ]
+        out.inferences[prefix] = classify_prefix_rounds(
+            prefix, origin_of[prefix], per_round, configs
+        )
+    return out
+
+
+def origin_map(ecosystem) -> Dict[Prefix, int]:
+    """Prefix -> origin ASN for an ecosystem's studied prefixes."""
+    return {
+        plan.prefix: plan.origin_asn
+        for plan in ecosystem.studied_prefixes()
+    }

@@ -1,0 +1,171 @@
+"""Table 2: comparing the SURF and Internet2 experiments.
+
+Prefixes with packet loss in either run, mixed routing, oscillation, or
+an unexpected switch to commodity are not comparable; the rest cross-
+tabulate into a 3x3 of {always commodity, always R&E, switch to R&E}.
+The analysis also attributes differences to asymmetric R&E transits
+(the NIKS effect of Figure 4) using the ecosystem's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..netutil import Prefix
+from .classify import ExperimentInference, InferenceCategory
+
+_COMPARABLE = (
+    InferenceCategory.ALWAYS_COMMODITY,
+    InferenceCategory.ALWAYS_RE,
+    InferenceCategory.SWITCH_TO_RE,
+)
+
+
+@dataclass
+class Table2:
+    """The cross-experiment comparison."""
+
+    packet_loss: int = 0
+    mixed: int = 0
+    oscillating: int = 0
+    switch_to_commodity: int = 0
+    cells: Dict[Tuple[InferenceCategory, InferenceCategory], int] = field(
+        default_factory=dict
+    )
+    niks_attributed: int = 0
+    niks_cell: Optional[Tuple[InferenceCategory, InferenceCategory]] = None
+    different_ases: int = 0
+    niks_ases: int = 0
+
+    @property
+    def incomparable(self) -> int:
+        return (
+            self.packet_loss
+            + self.mixed
+            + self.oscillating
+            + self.switch_to_commodity
+        )
+
+    @property
+    def same(self) -> int:
+        return sum(
+            count
+            for (surf, i2), count in self.cells.items()
+            if surf is i2
+        )
+
+    @property
+    def different(self) -> int:
+        return sum(
+            count
+            for (surf, i2), count in self.cells.items()
+            if surf is not i2
+        )
+
+    @property
+    def comparable(self) -> int:
+        return self.same + self.different
+
+    @property
+    def agreement(self) -> float:
+        return self.same / self.comparable if self.comparable else 0.0
+
+    def cell(
+        self, surf: InferenceCategory, i2: InferenceCategory
+    ) -> int:
+        return self.cells.get((surf, i2), 0)
+
+    def render(self) -> str:
+        lines = [
+            "Table 2: comparison of SURF and Internet2 results",
+            "  Packet loss %d / Mixed %d / Oscillating %d / "
+            "Switch to commodity %d" % (
+                self.packet_loss, self.mixed, self.oscillating,
+                self.switch_to_commodity,
+            ),
+            "  Incomparable prefixes: %d" % self.incomparable,
+            "",
+            "  %-20s %-20s %8s" % ("SURF", "Internet2", "Prefixes"),
+        ]
+        total = self.comparable
+        for (surf, i2), count in sorted(
+            self.cells.items(), key=lambda kv: (kv[0][0] is kv[0][1], -kv[1])
+        ):
+            lines.append(
+                "  %-20s %-20s %8d %5.1f%%"
+                % (surf.value, i2.value, count,
+                   100.0 * count / total if total else 0.0)
+            )
+        lines += [
+            "",
+            "  Different inferences: %d (%.1f%%) across %d ASes"
+            % (self.different, 100.0 * self.different / total if total else 0,
+               self.different_ases),
+            "  Same inferences: %d (%.1f%%)"
+            % (self.same, 100.0 * self.agreement),
+            "  Comparable prefixes: %d" % self.comparable,
+            "  NIKS-attributed differences: %d prefixes, %d ASes"
+            % (self.niks_attributed, self.niks_ases),
+        ]
+        return "\n".join(lines)
+
+
+def build_table2(
+    surf: ExperimentInference,
+    internet2: ExperimentInference,
+    ecosystem=None,
+) -> Table2:
+    """Cross-tabulate two experiments' inferences.
+
+    When *ecosystem* is given, differences caused by members behind the
+    NIKS analogue are attributed (the paper traced 161 of 363
+    differences to NIKS's per-neighbor localpref assignment).
+    """
+    table = Table2()
+    shared = set(surf.inferences) & set(internet2.inferences)
+    niks_asn = ecosystem.niks_asn if ecosystem is not None else None
+    members = ecosystem.members if ecosystem is not None else {}
+    different_ases: Set[int] = set()
+    niks_ases: Set[int] = set()
+
+    for prefix in shared:
+        a = surf.inferences[prefix]
+        b = internet2.inferences[prefix]
+        if (
+            a.category is InferenceCategory.EXCLUDED_LOSS
+            or b.category is InferenceCategory.EXCLUDED_LOSS
+        ):
+            table.packet_loss += 1
+            continue
+        if (
+            a.category is InferenceCategory.MIXED
+            or b.category is InferenceCategory.MIXED
+        ):
+            table.mixed += 1
+            continue
+        if (
+            a.category is InferenceCategory.OSCILLATING
+            or b.category is InferenceCategory.OSCILLATING
+        ):
+            table.oscillating += 1
+            continue
+        if (
+            a.category is InferenceCategory.SWITCH_TO_COMMODITY
+            or b.category is InferenceCategory.SWITCH_TO_COMMODITY
+        ):
+            table.switch_to_commodity += 1
+            continue
+        key = (a.category, b.category)
+        table.cells[key] = table.cells.get(key, 0) + 1
+        if a.category is not b.category:
+            different_ases.add(a.origin_asn)
+            truth = members.get(a.origin_asn)
+            if truth is not None and truth.behind_transit == niks_asn:
+                table.niks_attributed += 1
+                table.niks_cell = key
+                niks_ases.add(a.origin_asn)
+
+    table.different_ases = len(different_ases)
+    table.niks_ases = len(niks_ases)
+    return table

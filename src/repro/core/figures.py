@@ -1,0 +1,140 @@
+"""Plain-text rendering of the paper's figures.
+
+The library is dependency-free, so figures render as terminal plots:
+Figure 3 as a cumulative step curve with probing windows marked,
+Figure 8 as aligned CDF curves, and Figure 5 as a shaded region table
+(the text analogue of the paper's choropleth maps).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..collectors.churn import ChurnReport
+from .ripe import Figure5
+from .switch_cdf import Figure8
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(fraction: float) -> str:
+    index = int(round(fraction * (len(_SHADES) - 1)))
+    return _SHADES[max(0, min(len(_SHADES) - 1, index))]
+
+
+def render_churn_figure(
+    report: ChurnReport,
+    round_times: Sequence[Tuple[float, float]] = (),
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Figure 3: cumulative update curve with probing windows (grey
+    bars in the paper; ``|`` columns here)."""
+    if not report.series:
+        return "(no update activity)"
+    start = report.re_phase.start
+    end = report.commodity_phase.end
+    span = max(1.0, end - start)
+    top = max(1, report.series[-1][1])
+
+    def column_of(when: float) -> int:
+        return int((when - start) / span * (width - 1))
+
+    # Sample the cumulative count per column.
+    counts = [0] * width
+    cursor = 0
+    for when, value in report.series:
+        column = max(0, min(width - 1, column_of(when)))
+        counts[column] = max(counts[column], value)
+    for column in range(1, width):
+        counts[column] = max(counts[column], counts[column - 1])
+
+    window_columns = set()
+    for window_start, window_end in round_times:
+        for column in range(
+            column_of(window_start), column_of(window_end) + 1
+        ):
+            if 0 <= column < width:
+                window_columns.add(column)
+
+    boundary_column = column_of(report.commodity_phase.start)
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = top * row / height
+        line = []
+        for column in range(width):
+            if counts[column] >= threshold:
+                line.append("#")
+            elif column in window_columns:
+                line.append("|")
+            elif column == boundary_column:
+                line.append(":")
+            else:
+                line.append(" ")
+        rows.append("".join(line))
+    axis = "-" * width
+    legend = (
+        "cumulative updates (max %d); '|' probing windows, ':' phase "
+        "boundary" % top
+    )
+    label = (
+        "R&E prepends phase: %d | commodity prepends phase: %d"
+        % (report.re_phase.updates, report.commodity_phase.updates)
+    )
+    return "\n".join(rows + [axis, legend, label])
+
+
+def render_switch_cdf_figure(figure: Figure8, width: int = 60,
+                             height: int = 10) -> str:
+    """Figure 8: the two populations' CDFs on one grid (``N`` =
+    Peer-NREN, ``P`` = Participant, ``*`` both)."""
+    configs = figure.configs
+    nren = dict(figure.peer_nren.cdf(configs))
+    participant = dict(figure.participant.cdf(configs))
+    columns = len(configs)
+    grid = [[" "] * columns for _ in range(height)]
+    for column, config in enumerate(configs):
+        for series, mark in ((nren, "N"), (participant, "P")):
+            row = height - 1 - int(round(series[config] * (height - 1)))
+            current = grid[row][column]
+            grid[row][column] = "*" if current not in (" ", mark) else mark
+    cell = max(4, width // columns)
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(
+            "%4.0f%% |%s" % (
+                100 * fraction,
+                "".join(mark.center(cell) for mark in row),
+            )
+        )
+    lines.append("      +" + "-" * (cell * columns))
+    lines.append(
+        "       " + "".join(config.center(cell) for config in configs)
+    )
+    lines.append(
+        "       N = Peer-NREN (n=%d), P = Participant (n=%d), * = both"
+        % (figure.peer_nren.total, figure.participant.total)
+    )
+    return "\n".join(lines)
+
+
+def render_region_map(figure: Figure5, us_states: bool = False) -> str:
+    """Figure 5 as a shaded table: dark (high share, '@') to light
+    ('.'), the text analogue of the green-to-red map."""
+    stats = (
+        figure.eligible_states() if us_states
+        else figure.eligible_countries()
+    )
+    if not stats:
+        return "(no regions with enough geolocated ASes)"
+    title = "U.S. states" if us_states else "countries"
+    lines = ["Figure 5 (%s): share of ASes reached over R&E" % title]
+    for stat in stats:
+        bar = _shade(stat.share) * max(1, int(round(stat.share * 20)))
+        lines.append(
+            "  %-3s %5.1f%% %-20s (%d/%d ASes)"
+            % (stat.region, 100 * stat.share, bar, stat.re_ases,
+               stat.total_ases)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Looking-glass policy validation (the §2.2 methodology, applied).
+
+Wang & Gao (2003) and Kastanakis et al. (2023) read localpref values
+out of public looking glasses and checked them against the Gao-Rexford
+expectation (customers above peers above providers).  The paper used
+NIKS's looking glass [27] to confirm its inferred asymmetry.  This
+module runs both checks against simulated looking glasses:
+
+1. **Gao-Rexford conformance** — per LG-operating AS, do the visible
+   localpref assignments respect customer > peer > provider?
+2. **Sweep-inference agreement** — does the prepend-sweep inference
+   (equal vs differentiated localpref on R&E vs commodity upstreams)
+   match the localpref values the looking glass exposes?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bgp.policy import Rel
+from ..collectors.looking_glass import LookingGlass, LookingGlassDirectory
+from ..core.classify import ExperimentInference, InferenceCategory
+from ..topology.graph import Topology
+
+
+@dataclass
+class LGConformance:
+    """Gao-Rexford conformance of one AS's visible localprefs."""
+
+    asn: int
+    assignments: Dict[int, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def conforms(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class LGValidationReport:
+    """The combined looking-glass validation."""
+
+    conformance: List[LGConformance] = field(default_factory=list)
+    inference_checked: int = 0
+    inference_agreed: int = 0
+    inference_details: List[str] = field(default_factory=list)
+
+    @property
+    def ases_checked(self) -> int:
+        return len(self.conformance)
+
+    @property
+    def ases_conforming(self) -> int:
+        return sum(1 for c in self.conformance if c.conforms)
+
+    @property
+    def inference_agreement(self) -> float:
+        if not self.inference_checked:
+            return 0.0
+        return self.inference_agreed / self.inference_checked
+
+    def render(self) -> str:
+        lines = [
+            "Looking-glass validation:",
+            "  Gao-Rexford conformance: %d/%d ASes"
+            % (self.ases_conforming, self.ases_checked),
+            "  sweep-inference vs LG localpref: %d/%d agree (%.1f%%)"
+            % (self.inference_agreed, self.inference_checked,
+               100.0 * self.inference_agreement),
+        ]
+        for conformance in self.conformance:
+            if not conformance.conforms:
+                lines.append(
+                    "  AS %d violations: %s"
+                    % (conformance.asn,
+                       "; ".join(conformance.violations))
+                )
+        return "\n".join(lines)
+
+
+def check_gao_rexford(
+    topology: Topology, glass: LookingGlass
+) -> LGConformance:
+    """Check one looking glass's visible localprefs against the
+    customer > peer > provider expectation (ties across tiers are
+    violations, matching the 2003/2023 counting)."""
+    conformance = LGConformance(asn=glass.asn)
+    assignments = glass.neighbor_localprefs()
+    conformance.assignments = assignments
+    by_rel: Dict[Rel, List[int]] = {}
+    for neighbor, localpref in assignments.items():
+        rel = topology.rel(glass.asn, neighbor)
+        by_rel.setdefault(rel, []).append(localpref)
+
+    def worst(rel: Rel) -> Optional[int]:
+        values = by_rel.get(rel)
+        return min(values) if values else None
+
+    def best(rel: Rel) -> Optional[int]:
+        values = by_rel.get(rel)
+        return max(values) if values else None
+
+    customer_min = worst(Rel.CUSTOMER)
+    peer_max = best(Rel.PEER)
+    peer_min = worst(Rel.PEER)
+    provider_max = best(Rel.PROVIDER)
+    if customer_min is not None and peer_max is not None:
+        if customer_min <= peer_max:
+            conformance.violations.append(
+                "customer localpref %d <= peer localpref %d"
+                % (customer_min, peer_max)
+            )
+    if customer_min is not None and provider_max is not None:
+        if customer_min <= provider_max:
+            conformance.violations.append(
+                "customer localpref %d <= provider localpref %d"
+                % (customer_min, provider_max)
+            )
+    if peer_min is not None and provider_max is not None:
+        if peer_min < provider_max:
+            conformance.violations.append(
+                "peer localpref %d < provider localpref %d"
+                % (peer_min, provider_max)
+            )
+    return conformance
+
+
+def build_lg_validation(
+    ecosystem,
+    directory: LookingGlassDirectory,
+    inference: Optional[ExperimentInference] = None,
+) -> LGValidationReport:
+    """Run both looking-glass checks over a directory of glasses."""
+    topology = ecosystem.topology
+    report = LGValidationReport()
+    majority: Dict[int, InferenceCategory] = {}
+    if inference is not None:
+        counts: Dict[int, Dict[InferenceCategory, int]] = {}
+        for item in inference.characterized():
+            counts.setdefault(item.origin_asn, {}).setdefault(
+                item.category, 0
+            )
+            counts[item.origin_asn][item.category] += 1
+        for asn, per_category in counts.items():
+            majority[asn] = max(per_category, key=per_category.get)
+
+    for asn in directory.asns():
+        glass = directory.glass(asn)
+        report.conformance.append(check_gao_rexford(topology, glass))
+
+        truth = ecosystem.members.get(asn)
+        category = majority.get(asn)
+        if truth is None or category is None:
+            continue
+        if not (truth.re_neighbors and truth.commodity_neighbors):
+            continue
+        assignments = glass.neighbor_localprefs()
+        re_lp = assignments.get(truth.re_neighbors[0])
+        comm_lp = assignments.get(truth.commodity_neighbors[0])
+        if re_lp is None or comm_lp is None:
+            continue
+        report.inference_checked += 1
+        if category is InferenceCategory.SWITCH_TO_RE:
+            agrees = re_lp == comm_lp
+        elif category is InferenceCategory.ALWAYS_RE:
+            agrees = re_lp >= comm_lp
+        elif category is InferenceCategory.ALWAYS_COMMODITY:
+            agrees = comm_lp >= re_lp
+        else:
+            agrees = True  # mixed/oscillating carry no localpref claim
+        if agrees:
+            report.inference_agreed += 1
+        else:
+            report.inference_details.append(
+                "AS %d: inference %s but LG shows re=%s comm=%s"
+                % (asn, category.value, re_lp, comm_lp)
+            )
+    return report

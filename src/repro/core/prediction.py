@@ -1,0 +1,190 @@
+"""Routing-model implication: how much do inferred preferences help?
+
+The paper's motivation is that BGP hides the information needed for
+accurate routing models: Gao-Rexford + shortest-AS-path predicts edge
+egress poorly, and §4.2 shows relative prepending "provides some
+signal ... but relying on that signal would lead to error".  This
+module quantifies exactly that, on the simulated population, by
+predicting each responsive prefix's return-route type at the neutral
+configuration (0-0) under three models and scoring them against the
+observed behaviour:
+
+1. ``shortest-path`` — every AS assigns equal localpref; predict R&E
+   iff the R&E path is shorter (ties predict R&E via the older-route
+   reasoning of §A: at 0-0 the commodity route is older, so predict
+   commodity on ties);
+2. ``prepend-signal`` — the §4.2 heuristic: predict R&E iff the origin
+   prepends more toward commodity than toward R&E, commodity iff the
+   reverse, shortest-path otherwise;
+3. ``inferred`` — use this paper's method: the inference category from
+   the prepend sweep.
+
+The "observed" label is the interface seen at the 0-0 round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..bgp.attributes import Announcement
+from ..bgp.fastpath import propagate_fastpath
+from ..collectors.rib import observe_origin_prepending
+from ..errors import AnalysisError
+from ..experiment.records import ExperimentResult
+from .classify import ExperimentInference, InferenceCategory, RoundSignal
+
+MODELS = ("shortest-path", "prepend-signal", "inferred")
+
+
+@dataclass
+class ModelScore:
+    """Accuracy of one prediction model."""
+
+    model: str
+    correct: int = 0
+    total: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+@dataclass
+class PredictionReport:
+    """Per-model scores plus a per-prefix detail map."""
+
+    scores: Dict[str, ModelScore] = field(default_factory=dict)
+    details: Dict = field(default_factory=dict)
+
+    def score(self, model: str) -> ModelScore:
+        return self.scores[model]
+
+    def render(self) -> str:
+        lines = [
+            "Route prediction accuracy at configuration 0-0:",
+            "%-16s %10s %10s" % ("model", "correct", "accuracy"),
+        ]
+        for model in MODELS:
+            score = self.scores[model]
+            lines.append(
+                "%-16s %10d %9.1f%%"
+                % (model, score.correct, 100.0 * score.accuracy)
+            )
+        return "\n".join(lines)
+
+
+def _observed_at_neutral(
+    inference: ExperimentInference, result: ExperimentResult
+):
+    """prefix -> "re"/"commodity" observed at the 0-0 round (prefixes
+    with loss or mixed signals there are skipped)."""
+    try:
+        neutral_index = list(result.schedule.configs).index("0-0")
+    except ValueError:
+        raise AnalysisError("schedule has no 0-0 configuration") from None
+    observed = {}
+    for prefix, item in inference.inferences.items():
+        if not item.characterized:
+            continue
+        if neutral_index >= len(item.signals):
+            continue
+        signal = item.signals[neutral_index]
+        if signal is RoundSignal.RE:
+            observed[prefix] = "re"
+        elif signal is RoundSignal.COMMODITY:
+            observed[prefix] = "commodity"
+    return observed
+
+
+def _path_length_prediction(ecosystem, result: ExperimentResult):
+    """prefix -> predicted type under the equal-localpref shortest-path
+    model, computed from each origin AS's candidate routes at 0-0."""
+    announcements = [
+        Announcement(ecosystem.measurement_prefix, result.re_origin,
+                     tag="re"),
+        Announcement(ecosystem.measurement_prefix, result.commodity_origin,
+                     tag="commodity"),
+    ]
+    state = propagate_fastpath(ecosystem.topology, announcements)
+    prediction = {}
+    for plan in ecosystem.studied_prefixes():
+        candidates = state.candidates_at(plan.origin_asn)
+        re_lengths = [
+            r.path.length for r in candidates if r.tag == "re"
+        ]
+        commodity_lengths = [
+            r.path.length for r in candidates if r.tag == "commodity"
+        ]
+        if not commodity_lengths:
+            prediction[plan.prefix] = "re" if re_lengths else None
+        elif not re_lengths:
+            prediction[plan.prefix] = "commodity"
+        elif min(re_lengths) < min(commodity_lengths):
+            prediction[plan.prefix] = "re"
+        else:
+            # Ties go to the older commodity route at 0-0 (§A).
+            prediction[plan.prefix] = "commodity"
+    return prediction
+
+
+def _inferred_prediction(inference: ExperimentInference):
+    """prefix -> predicted type at 0-0 from the inference category."""
+    prediction = {}
+    for prefix, item in inference.inferences.items():
+        if item.category is InferenceCategory.ALWAYS_RE:
+            prediction[prefix] = "re"
+        elif item.category is InferenceCategory.ALWAYS_COMMODITY:
+            prediction[prefix] = "commodity"
+        elif item.category is InferenceCategory.SWITCH_TO_RE:
+            # Equal localpref: at 0-0 the shorter path wins; the switch
+            # round tells us which side that was.
+            if item.switch_round is not None and item.switch_config:
+                # Switched at or before 0-0 -> R&E already selected.
+                prediction[prefix] = (
+                    "re"
+                    if item.switch_config.endswith("-0")
+                    or item.switch_config == "0-0"
+                    else "commodity"
+                )
+    return prediction
+
+
+def build_prediction_report(
+    ecosystem,
+    inference: ExperimentInference,
+    result: ExperimentResult,
+) -> PredictionReport:
+    """Score the three models against observed 0-0 behaviour."""
+    observed = _observed_at_neutral(inference, result)
+    shortest = _path_length_prediction(ecosystem, result)
+    inferred = _inferred_prediction(inference)
+    prepending = observe_origin_prepending(ecosystem)
+
+    report = PredictionReport(
+        scores={model: ModelScore(model) for model in MODELS}
+    )
+    for prefix, actual in observed.items():
+        predictions = {}
+        predictions["shortest-path"] = shortest.get(prefix)
+        observation = prepending.get(prefix)
+        if observation is None or not observation.has_commodity:
+            predictions["prepend-signal"] = shortest.get(prefix)
+        elif observation.commodity_prepends > observation.re_prepends:
+            predictions["prepend-signal"] = "re"
+        elif observation.re_prepends > observation.commodity_prepends:
+            predictions["prepend-signal"] = "commodity"
+        else:
+            predictions["prepend-signal"] = shortest.get(prefix)
+        predictions["inferred"] = inferred.get(prefix)
+
+        report.details[prefix] = (actual, predictions)
+        for model in MODELS:
+            predicted = predictions[model]
+            if predicted is None:
+                continue
+            score = report.scores[model]
+            score.total += 1
+            if predicted == actual:
+                score.correct += 1
+    return report

@@ -1,0 +1,124 @@
+"""Table 4: does egress preference align with origin prepending? (§4.2)
+
+For every tested prefix, the origin's prepending toward R&E vs
+commodity neighbors — as visible in collected BGP routes — is compared
+with the probing-based inference.  The paper's conclusion: relative
+prepending is a signal but an unreliable one (50.7% of R>C prefixes
+still always returned via R&E), and 9% of "no commodity observed"
+prefixes used hidden commodity egress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..collectors.rib import PrependObservation, observe_origin_prepending
+from ..netutil import Prefix
+from .classify import ExperimentInference, InferenceCategory
+
+#: Table 4's row order (Switch-to-commodity and oscillating prefixes are
+#: too few to chart; the paper's table shows these four).
+ROW_ORDER = (
+    InferenceCategory.ALWAYS_RE,
+    InferenceCategory.ALWAYS_COMMODITY,
+    InferenceCategory.SWITCH_TO_RE,
+    InferenceCategory.MIXED,
+)
+
+#: Column keys.
+COL_EQUAL = "R=C"
+COL_MORE_COMMODITY = "R<C"
+COL_MORE_RE = "R>C"
+COL_NO_COMMODITY = "no commodity"
+COLUMN_ORDER = (COL_EQUAL, COL_MORE_COMMODITY, COL_MORE_RE,
+                COL_NO_COMMODITY)
+
+
+def prepend_column(observation: PrependObservation) -> str:
+    """Classify one prefix's observed prepending into a Table 4 column."""
+    if not observation.has_commodity:
+        return COL_NO_COMMODITY
+    if observation.re_prepends == observation.commodity_prepends:
+        return COL_EQUAL
+    if observation.re_prepends < observation.commodity_prepends:
+        return COL_MORE_COMMODITY
+    return COL_MORE_RE
+
+
+@dataclass
+class Table4:
+    """Inference x prepending cross-tabulation."""
+
+    cells: Dict[Tuple[InferenceCategory, str], int] = field(
+        default_factory=dict
+    )
+    other_categories: int = 0
+
+    def cell(self, category: InferenceCategory, column: str) -> int:
+        return self.cells.get((category, column), 0)
+
+    def column_total(self, column: str) -> int:
+        return sum(
+            count
+            for (_, col), count in self.cells.items()
+            if col == column
+        )
+
+    def column_share(self, category: InferenceCategory, column: str) -> float:
+        total = self.column_total(column)
+        return self.cell(category, column) / total if total else 0.0
+
+    @property
+    def total(self) -> int:
+        return sum(self.cells.values())
+
+    def render(self) -> str:
+        lines = [
+            "Table 4: origin prepending vs route preference inference",
+            "%-24s %10s %10s %10s %14s"
+            % (("Inference",) + COLUMN_ORDER),
+        ]
+        for category in ROW_ORDER:
+            counts = "  ".join(
+                "%6d" % self.cell(category, column)
+                for column in COLUMN_ORDER
+            )
+            shares = "  ".join(
+                "%5.1f%%" % (100.0 * self.column_share(category, column))
+                for column in COLUMN_ORDER
+            )
+            lines.append("%-24s  %s" % (category.value, counts))
+            lines.append("%-24s  %s" % ("", shares))
+        totals = "  ".join(
+            "%6d" % self.column_total(column) for column in COLUMN_ORDER
+        )
+        lines.append("%-24s  %s" % ("Total", totals))
+        return "\n".join(lines)
+
+
+def build_table4(
+    ecosystem,
+    inference: ExperimentInference,
+    observations: Optional[Dict[Prefix, PrependObservation]] = None,
+) -> Table4:
+    """Cross-tabulate prepending observations with inferences.
+
+    *observations* defaults to reconstructing origin prepending from
+    the collector-visible announcements (see
+    :func:`repro.collectors.rib.observe_origin_prepending`).
+    """
+    if observations is None:
+        observations = observe_origin_prepending(ecosystem)
+    table = Table4()
+    for item in inference.characterized():
+        observation = observations.get(item.prefix)
+        if observation is None:
+            continue
+        if item.category not in ROW_ORDER:
+            table.other_categories += 1
+            continue
+        column = prepend_column(observation)
+        key = (item.category, column)
+        table.cells[key] = table.cells.get(key, 0) + 1
+    return table

@@ -1,0 +1,253 @@
+"""Generalised relative-route-preference surveys (§5).
+
+The paper argues its method applies beyond R&E: announce one prefix
+via two route classes (R&E vs commodity, IXP peering vs transit, two
+providers, ...), sweep prepends on each side, and classify every
+target AS by which announcement its best route descends from at each
+step.  This module is the control-plane formulation of that method —
+it classifies ASes from their converged RIBs directly, and is what the
+probing pipeline measures from the outside.
+
+Example (the Figure 6 IXP setup)::
+
+    survey = PreferenceSurvey(
+        topology,
+        AnnouncementSpec(prefix, host_asn, tag="peer",
+                         neighbors=ixp_members),
+        AnnouncementSpec(prefix, host_asn2, tag="provider"),
+    )
+    outcome = survey.run(targets=[alpha, beta])
+    outcome.category_of(alpha)   # SurveyCategory.EQUAL_PREFERENCE
+
+The default sweep mirrors the paper's: decrease side-A prepends, then
+increase side-B prepends, so a single A->B... transition identifies
+equal localpref given route-age semantics (§A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.attributes import Announcement
+from ..bgp.fastpath import propagate_fastpath
+from ..errors import AnalysisError
+from ..netutil import Prefix
+from ..topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class AnnouncementSpec:
+    """One side of the survey: an origin and its announcement tag.
+
+    ``neighbors`` optionally restricts which neighbors of the origin
+    receive the announcement (e.g. only the IXP route server side of a
+    multi-homed host); ``None`` announces to all.
+    """
+
+    prefix: Prefix
+    origin_asn: int
+    tag: str
+    neighbors: Optional[Tuple[int, ...]] = None
+
+
+class SurveyCategory(Enum):
+    """Per-AS survey outcome (mirrors the paper's Table 1 categories
+    for a two-class announcement)."""
+
+    ALWAYS_FIRST = "always-first"
+    ALWAYS_SECOND = "always-second"
+    SWITCHES_TO_FIRST = "switches-to-first"
+    SWITCHES_TO_SECOND = "switches-to-second"
+    UNSTABLE = "unstable"
+    UNREACHABLE = "unreachable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Default sweep, as (first_side_prepends, second_side_prepends).
+DEFAULT_SWEEP: Tuple[Tuple[int, int], ...] = (
+    (4, 0), (3, 0), (2, 0), (1, 0), (0, 0),
+    (0, 1), (0, 2), (0, 3), (0, 4),
+)
+
+
+@dataclass
+class TargetOutcome:
+    """The sweep trace for one target AS."""
+
+    asn: int
+    tags: List[Optional[str]] = field(default_factory=list)
+    category: SurveyCategory = SurveyCategory.UNREACHABLE
+    switch_step: Optional[int] = None
+
+    @property
+    def path_length_sensitive(self) -> bool:
+        """A switch implies the AS (or its upstream) broke the tie with
+        AS path length — the equal-localpref signature."""
+        return self.category in (
+            SurveyCategory.SWITCHES_TO_FIRST,
+            SurveyCategory.SWITCHES_TO_SECOND,
+        )
+
+
+@dataclass
+class SurveyOutcome:
+    """Results of one survey run."""
+
+    sweep: Tuple[Tuple[int, int], ...]
+    first_tag: str
+    second_tag: str
+    targets: Dict[int, TargetOutcome] = field(default_factory=dict)
+
+    def category_of(self, asn: int) -> SurveyCategory:
+        outcome = self.targets.get(asn)
+        return outcome.category if outcome else SurveyCategory.UNREACHABLE
+
+    def of_category(self, category: SurveyCategory) -> List[int]:
+        return sorted(
+            asn
+            for asn, outcome in self.targets.items()
+            if outcome.category is category
+        )
+
+    def summary(self) -> Dict[SurveyCategory, int]:
+        counts: Dict[SurveyCategory, int] = {}
+        for outcome in self.targets.values():
+            counts[outcome.category] = counts.get(outcome.category, 0) + 1
+        return counts
+
+
+def _classify_tags(
+    tags: Sequence[Optional[str]], first_tag: str
+) -> Tuple[SurveyCategory, Optional[int]]:
+    if any(tag is None for tag in tags):
+        return SurveyCategory.UNREACHABLE, None
+    transitions = [
+        index + 1
+        for index, (a, b) in enumerate(zip(tags, tags[1:]))
+        if a != b
+    ]
+    if not transitions:
+        if tags[0] == first_tag:
+            return SurveyCategory.ALWAYS_FIRST, None
+        return SurveyCategory.ALWAYS_SECOND, None
+    if len(transitions) == 1:
+        step = transitions[0]
+        if tags[-1] == first_tag:
+            return SurveyCategory.SWITCHES_TO_FIRST, step
+        return SurveyCategory.SWITCHES_TO_SECOND, step
+    return SurveyCategory.UNSTABLE, transitions[0]
+
+
+class PreferenceSurvey:
+    """Runs the prepend sweep and classifies target ASes."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        first: AnnouncementSpec,
+        second: AnnouncementSpec,
+        sweep: Tuple[Tuple[int, int], ...] = DEFAULT_SWEEP,
+    ) -> None:
+        if first.prefix != second.prefix:
+            raise AnalysisError("both announcement sides need one prefix")
+        if first.tag == second.tag:
+            raise AnalysisError("announcement tags must differ")
+        self.topology = topology
+        self.first = first
+        self.second = second
+        self.sweep = sweep
+        self._saved_filters: Dict[Tuple[int, int], set] = {}
+
+    def _announcement(
+        self, spec: AnnouncementSpec, prepends: int
+    ) -> Announcement:
+        if spec.neighbors is not None:
+            # Scope the announcement to the listed neighbors via the
+            # origin's tag-scoped export policy (restored after run()).
+            policy = self.topology.node(spec.origin_asn).policy
+            for neighbor in self.topology.neighbors(spec.origin_asn):
+                key = (spec.origin_asn, neighbor)
+                if key not in self._saved_filters:
+                    self._saved_filters[key] = set(
+                        policy.no_export_tags.get(neighbor, ())
+                    )
+                blocked = policy.no_export_tags.setdefault(neighbor, set())
+                if neighbor in spec.neighbors:
+                    blocked.discard(spec.tag)
+                else:
+                    blocked.add(spec.tag)
+        return Announcement(
+            prefix=spec.prefix,
+            origin_asn=spec.origin_asn,
+            default_prepends=prepends,
+            tag=spec.tag,
+        )
+
+    def _restore_filters(self) -> None:
+        for (asn, neighbor), saved in self._saved_filters.items():
+            policy = self.topology.node(asn).policy
+            if saved:
+                policy.no_export_tags[neighbor] = set(saved)
+            else:
+                policy.no_export_tags.pop(neighbor, None)
+        self._saved_filters.clear()
+
+    def run(self, targets: Optional[Sequence[int]] = None) -> SurveyOutcome:
+        """Sweep and classify.
+
+        *targets* defaults to every AS in the topology other than the
+        announcement origins.
+        """
+        if targets is None:
+            origins = {self.first.origin_asn, self.second.origin_asn}
+            targets = [
+                node.asn
+                for node in self.topology.ases()
+                if node.asn not in origins
+            ]
+        outcome = SurveyOutcome(
+            sweep=self.sweep,
+            first_tag=self.first.tag,
+            second_tag=self.second.tag,
+        )
+        traces: Dict[int, List[Optional[str]]] = {
+            asn: [] for asn in targets
+        }
+        try:
+            for first_prepends, second_prepends in self.sweep:
+                result = propagate_fastpath(
+                    self.topology,
+                    [
+                        self._announcement(self.first, first_prepends),
+                        self._announcement(self.second, second_prepends),
+                    ],
+                )
+                for asn in targets:
+                    route = result.route_at(asn)
+                    traces[asn].append(route.tag if route else None)
+        finally:
+            self._restore_filters()
+        for asn, tags in traces.items():
+            category, step = _classify_tags(tags, self.first.tag)
+            outcome.targets[asn] = TargetOutcome(
+                asn=asn, tags=tags, category=category, switch_step=step
+            )
+        return outcome
+
+
+def infer_equal_localpref(
+    topology: Topology,
+    first: AnnouncementSpec,
+    second: AnnouncementSpec,
+    target_asn: int,
+    sweep: Tuple[Tuple[int, int], ...] = DEFAULT_SWEEP,
+) -> bool:
+    """Convenience: does *target_asn* appear to assign equal localpref
+    to the two route classes (i.e. does it flip with AS path length)?"""
+    survey = PreferenceSurvey(topology, first, second, sweep)
+    outcome = survey.run(targets=[target_asn])
+    return outcome.targets[target_asn].path_length_sensitive

@@ -1,0 +1,363 @@
+"""Validation analyses (§4.1).
+
+Table 3 compares prefix-level inferences with what the same ASes
+exported to public BGP collectors: an AS whose systems always replied
+over R&E should only show the R&E origin in its public view.  The
+paper found 3 of 25 ASes incongruent — and operator contact showed at
+least two of those exported a commodity VRF to the collector while
+genuinely preferring R&E, i.e. the *inference* was right and the
+public view misleading.  The simulation reproduces that mechanism with
+VRF-split feeders.
+
+§4.1.2's operator ground truth is reproduced against the generator's
+policy oracle: "contacting an operator" reads the member's true policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiment.records import ExperimentResult
+from ..rng import SeedTree
+from ..topology.re_config import EgressClass, PrefixKind
+from .classify import ExperimentInference, InferenceCategory
+
+_TABLE3_CATEGORIES = (
+    InferenceCategory.ALWAYS_RE,
+    InferenceCategory.ALWAYS_COMMODITY,
+    InferenceCategory.SWITCH_TO_RE,
+)
+
+
+@dataclass
+class Table3Entry:
+    """One collector-feeding AS in the congruence check."""
+
+    asn: int
+    inference: InferenceCategory
+    observed_origins: Tuple[int, ...]
+    congruent: bool
+    vrf_split: bool
+    note: str = ""
+
+
+@dataclass
+class Table3:
+    """The public-BGP-view congruence table."""
+
+    entries: List[Table3Entry] = field(default_factory=list)
+    excluded_no_majority: int = 0
+    excluded_other_category: int = 0
+
+    def counts(self) -> Dict[InferenceCategory, Tuple[int, int]]:
+        """category -> (congruent, incongruent)."""
+        out: Dict[InferenceCategory, Tuple[int, int]] = {}
+        for category in _TABLE3_CATEGORIES:
+            congruent = sum(
+                1
+                for e in self.entries
+                if e.inference is category and e.congruent
+            )
+            incongruent = sum(
+                1
+                for e in self.entries
+                if e.inference is category and not e.congruent
+            )
+            out[category] = (congruent, incongruent)
+        return out
+
+    @property
+    def total(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_congruent(self) -> int:
+        return sum(1 for e in self.entries if e.congruent)
+
+    @property
+    def incongruent_but_correct(self) -> int:
+        """Incongruent entries whose underlying policy matched the
+        inference (the VRF-split cases)."""
+        return sum(
+            1 for e in self.entries if not e.congruent and e.vrf_split
+        )
+
+    def render(self) -> str:
+        lines = [
+            "Table 3: policy inferences vs public BGP views",
+            "%-22s %10s %12s %6s"
+            % ("Inference", "Congruent", "Incongruent", "Total"),
+        ]
+        for category, (congruent, incongruent) in self.counts().items():
+            lines.append(
+                "%-22s %10d %12d %6d"
+                % (category.value, congruent, incongruent,
+                   congruent + incongruent)
+            )
+        lines.append(
+            "%-22s %10d %12d %6d"
+            % ("Total", self.total_congruent,
+               self.total - self.total_congruent, self.total)
+        )
+        lines.append(
+            "(%d incongruent ASes exported a commodity VRF; their "
+            "inference was correct)" % self.incongruent_but_correct
+        )
+        if self.excluded_no_majority:
+            lines.append(
+                "(%d AS excluded: no most-frequent inference)"
+                % self.excluded_no_majority
+            )
+        return "\n".join(lines)
+
+
+def _most_frequent_inference(
+    inferences: List[InferenceCategory],
+) -> Optional[InferenceCategory]:
+    counts: Dict[InferenceCategory, int] = {}
+    for category in inferences:
+        counts[category] = counts.get(category, 0) + 1
+    if not counts:
+        return None
+    best = max(counts.values())
+    winners = [c for c, n in counts.items() if n == best]
+    if len(winners) != 1:
+        return None  # tie: no most-frequent inference
+    return winners[0]
+
+
+def build_table3(
+    ecosystem,
+    inference: ExperimentInference,
+    result: ExperimentResult,
+) -> Table3:
+    """Check inference congruence against member feeders' public views."""
+    table = Table3()
+    vrf_split = set(ecosystem.feeders.vrf_split_feeders)
+    re_origin = result.re_origin
+    commodity_origin = result.commodity_origin
+
+    for feeder in ecosystem.feeders.member_feeders:
+        categories = [
+            item.category
+            for item in inference.inferences.values()
+            if item.origin_asn == feeder and item.characterized
+        ]
+        majority = _most_frequent_inference(categories)
+        if majority is None:
+            table.excluded_no_majority += 1
+            continue
+        if majority not in _TABLE3_CATEGORIES:
+            table.excluded_other_category += 1
+            continue
+        observations = result.feeder_views.get(feeder, [])
+        origins = tuple(
+            sorted(
+                {
+                    obs.origin_asn
+                    for obs in observations
+                    if obs.origin_asn is not None
+                }
+            )
+        )
+        if majority is InferenceCategory.ALWAYS_RE:
+            congruent = origins == (re_origin,) or origins == tuple(
+                sorted({re_origin})
+            )
+        elif majority is InferenceCategory.ALWAYS_COMMODITY:
+            congruent = origins == (commodity_origin,)
+        else:  # SWITCH_TO_RE: the view should show both origins in turn
+            congruent = set(origins) >= {re_origin, commodity_origin}
+        note = ""
+        if not congruent and feeder in vrf_split:
+            note = (
+                "exports commodity VRF to collector; policy prefers R&E"
+            )
+        table.entries.append(
+            Table3Entry(
+                asn=feeder,
+                inference=majority,
+                observed_origins=origins,
+                congruent=congruent,
+                vrf_split=feeder in vrf_split,
+                note=note,
+            )
+        )
+    return table
+
+
+# ----- §4.1.2 operator ground truth -----------------------------------------
+
+
+@dataclass
+class GroundTruthEntry:
+    asn: int
+    inference: Optional[InferenceCategory]
+    true_class: EgressClass
+    responded: bool
+    confirmed: bool
+    note: str = ""
+
+
+@dataclass
+class GroundTruthReport:
+    entries: List[GroundTruthEntry] = field(default_factory=list)
+
+    @property
+    def contacted(self) -> int:
+        return len(self.entries)
+
+    @property
+    def responses(self) -> int:
+        return sum(1 for e in self.entries if e.responded)
+
+    @property
+    def confirmed(self) -> int:
+        return sum(1 for e in self.entries if e.responded and e.confirmed)
+
+    def render(self) -> str:
+        lines = [
+            "Operator ground truth: contacted %d ASes, %d responded, "
+            "%d confirmed" % (self.contacted, self.responses,
+                              self.confirmed)
+        ]
+        for entry in self.entries:
+            if not entry.responded:
+                lines.append("  AS %d: no response" % entry.asn)
+                continue
+            lines.append(
+                "  AS %d: inference=%s truth=%s %s%s"
+                % (
+                    entry.asn,
+                    entry.inference.value if entry.inference else "-",
+                    entry.true_class.value,
+                    "CONFIRMED" if entry.confirmed else "REFUTED",
+                    (" — " + entry.note) if entry.note else "",
+                )
+            )
+        return "\n".join(lines)
+
+
+def expected_category(truth) -> InferenceCategory:
+    """The inference a member's true policy should produce, given the
+    prepend ordering (§3.3)."""
+    if truth.egress_class is EgressClass.RE_PREFER:
+        return InferenceCategory.ALWAYS_RE
+    if truth.egress_class is EgressClass.COMMODITY_PREFER:
+        if truth.has_commodity_egress:
+            return InferenceCategory.ALWAYS_COMMODITY
+        return InferenceCategory.ALWAYS_RE
+    # EQUAL: with a commodity egress the prepend sweep forces a single
+    # commodity->R&E transition; without one only R&E routes exist.
+    if truth.has_commodity_egress:
+        return InferenceCategory.SWITCH_TO_RE
+    return InferenceCategory.ALWAYS_RE
+
+
+def operator_ground_truth(
+    ecosystem,
+    inference: ExperimentInference,
+    contact: int = 10,
+    respond: int = 8,
+    seed: int = 0,
+) -> GroundTruthReport:
+    """Reproduce §4.1.2: contact operators across the inference
+    spectrum and compare their (oracle) policies with our inferences.
+
+    The selection spans the spectrum as the paper's did: equal-localpref
+    ASes, a mixed prefix (the router-interconnect case), always-R&E and
+    always-commodity ASes.
+    """
+    rng = SeedTree(seed).child("ground-truth").rng()
+    by_as = inference.by_as()
+    report = GroundTruthReport()
+
+    def majority(asn: int) -> Optional[InferenceCategory]:
+        cats = [i.category for i in by_as.get(asn, []) if i.characterized]
+        return _most_frequent_inference(cats)
+
+    pools: Dict[str, List[int]] = {"equal": [], "mixed": [], "re": [],
+                                   "commodity": []}
+    for asn, items in sorted(by_as.items()):
+        truth = ecosystem.members.get(asn)
+        if truth is None or truth.behind_transit is not None:
+            continue
+        cats = {i.category for i in items}
+        if InferenceCategory.MIXED in cats:
+            pools["mixed"].append(asn)
+        category = majority(asn)
+        if category is InferenceCategory.SWITCH_TO_RE:
+            pools["equal"].append(asn)
+        elif category is InferenceCategory.ALWAYS_RE:
+            pools["re"].append(asn)
+        elif category is InferenceCategory.ALWAYS_COMMODITY:
+            pools["commodity"].append(asn)
+
+    quota = [("equal", 2), ("mixed", 1), ("commodity", 2), ("re", contact)]
+    chosen: List[int] = []
+    for pool_name, want in quota:
+        pool = [a for a in pools[pool_name] if a not in chosen]
+        rng.shuffle(pool)
+        chosen.extend(pool[: min(want, max(0, contact - len(chosen)))])
+    chosen = chosen[:contact]
+    responders = set(rng.sample(chosen, min(respond, len(chosen))))
+
+    for asn in chosen:
+        truth = ecosystem.members[asn]
+        category = majority(asn)
+        if asn not in responders:
+            report.entries.append(
+                GroundTruthEntry(
+                    asn=asn, inference=category,
+                    true_class=truth.egress_class,
+                    responded=False, confirmed=False,
+                )
+            )
+            continue
+        note = ""
+        has_mixed = any(
+            i.category is InferenceCategory.MIXED
+            for i in by_as.get(asn, [])
+        )
+        if has_mixed:
+            note = (
+                "one probed address is an interconnect-router address "
+                "without an R&E route; other systems use R&E"
+            )
+        confirmed = (
+            category is None or category is expected_category(truth)
+            or has_mixed
+        )
+        report.entries.append(
+            GroundTruthEntry(
+                asn=asn, inference=category,
+                true_class=truth.egress_class,
+                responded=True, confirmed=confirmed, note=note,
+            )
+        )
+    return report
+
+
+def truth_accuracy(ecosystem, inference: ExperimentInference) -> Dict[str, float]:
+    """Overall inference accuracy against the ground-truth oracle, per
+    expected category (a whole-population version of §4.1.2)."""
+    correct: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    for item in inference.characterized():
+        truth = ecosystem.members.get(item.origin_asn)
+        plan = ecosystem.prefix_plans.get(item.prefix)
+        if truth is None or plan is None or truth.behind_transit is not None:
+            continue
+        if plan.kind in (PrefixKind.MIXED, PrefixKind.INTERCONNECT):
+            continue  # attachment, not policy, drives these
+        expected = expected_category(truth)
+        key = expected.value
+        totals[key] = totals.get(key, 0) + 1
+        if item.category is expected:
+            correct[key] = correct.get(key, 0) + 1
+    return {
+        key: correct.get(key, 0) / total
+        for key, total in totals.items()
+        if total
+    }

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string/value was malformed."""
+
+
+class TopologyError(ReproError):
+    """The AS topology is inconsistent (unknown AS, duplicate link, ...)."""
+
+
+class PolicyError(ReproError):
+    """A routing policy was misconfigured."""
+
+
+class EngineError(ReproError):
+    """The BGP propagation engine reached an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was misconfigured or run out of order."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on inconsistent inputs."""
+
+
+class DataIOError(ReproError):
+    """A results file could not be serialised or parsed."""

@@ -1,0 +1,29 @@
+"""Experiment orchestration (§3.3).
+
+- :mod:`repro.experiment.schedule` — the nine prepend configurations
+  and their timing (one hour between changes, §3.3's RFD rationale);
+- :mod:`repro.experiment.runner` — runs one experiment end to end:
+  announcements, convergence, outage injection, probing rounds, feeder
+  view capture;
+- :mod:`repro.experiment.records` — result containers.
+"""
+
+from .schedule import (
+    PREPEND_SEQUENCE,
+    ExperimentSchedule,
+    format_prepend_config,
+    parse_prepend_config,
+)
+from .records import ExperimentResult, FeederObservation
+from .runner import ExperimentRunner, run_both_experiments
+
+__all__ = [
+    "PREPEND_SEQUENCE",
+    "ExperimentSchedule",
+    "format_prepend_config",
+    "parse_prepend_config",
+    "ExperimentResult",
+    "FeederObservation",
+    "ExperimentRunner",
+    "run_both_experiments",
+]

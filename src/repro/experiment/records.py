@@ -1,0 +1,79 @@
+"""Result containers for experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.engine import ConvergenceStats, UpdateEvent
+from ..netutil import Prefix
+from ..probing.prober import RoundResult
+from ..seeds.selection import SeedPlan
+from .schedule import ExperimentSchedule
+
+
+@dataclass
+class FeederObservation:
+    """What one collector-feeding member AS exported for the measurement
+    prefix at one probing round (Table 3's public-view signal)."""
+
+    round_index: int
+    config: str
+    origin_asn: Optional[int]   # None: feeder exported no route
+    tag: str = ""
+    path: Tuple[int, ...] = ()
+
+
+@dataclass
+class OutageRecord:
+    """An outage the runner actually injected."""
+
+    round_index: int
+    action: str   # "down" or "up"
+    a: int
+    b: int
+    victim_asn: int
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment: str                       # "surf" or "internet2"
+    schedule: ExperimentSchedule
+    re_origin: int
+    commodity_origin: int
+    seed_plan: SeedPlan
+    rounds: List[RoundResult] = field(default_factory=list)
+    round_times: List[Tuple[float, float]] = field(default_factory=list)
+    config_change_times: List[Tuple[float, str]] = field(default_factory=list)
+    update_log: List[UpdateEvent] = field(default_factory=list)
+    feeder_views: Dict[int, List[FeederObservation]] = field(
+        default_factory=dict
+    )
+    convergence: List[ConvergenceStats] = field(default_factory=list)
+    outages_applied: List[OutageRecord] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def probed_prefixes(self) -> List[Prefix]:
+        return self.seed_plan.responsive_prefixes()
+
+    def responses_for(self, prefix: Prefix) -> List[List]:
+        """Per-round response lists for one prefix."""
+        return [
+            round_result.responses.get(prefix, [])
+            for round_result in self.rounds
+        ]
+
+    def commodity_phase_start(self) -> Optional[float]:
+        """Time of the first configuration change that touched the
+        commodity announcement (the Figure 3 phase boundary)."""
+        from .schedule import parse_prepend_config
+
+        for when, config in self.config_change_times:
+            if parse_prepend_config(config)[1] > 0:
+                return when
+        return None

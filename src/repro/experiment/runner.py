@@ -1,0 +1,306 @@
+"""End-to-end experiment runner (§3).
+
+One :class:`ExperimentRunner` reproduces one of the paper's two runs
+(SURF, 30 May 2025; Internet2, 5 June 2025):
+
+1. the commodity announcement goes up first and soaks;
+2. the R&E announcement goes up at "4-0" and soaks an hour;
+3. nine probing rounds follow, one per prepend configuration — after
+   each round the *single* changed announcement is re-announced, the
+   network reconverges, and an hour passes before the next round;
+4. scheduled outages (ground truth for the unexpected switches and
+   oscillations of §4) fire between rounds;
+5. collector feeder views and the BGP update log are captured
+   throughout (Tables 3 and Figure 3).
+
+``run_both_experiments`` runs SURF then Internet2 with the *same* probe
+seeds, as the paper did to make Table 2 comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..bgp.engine import PropagationEngine, UpdateEvent
+from ..errors import ExperimentError
+from ..probing.forwarding import engine_rib
+from ..probing.host import MeasurementHost
+from ..probing.prober import Prober
+from ..rng import SeedTree
+from ..seeds.selection import SeedPlan, select_seeds
+from ..topology.re_config import SystemPlan
+from ..topology.re_ecosystem import Ecosystem
+from .records import ExperimentResult, FeederObservation, OutageRecord
+from .schedule import ExperimentSchedule
+
+
+class ExperimentRunner:
+    """Runs one experiment against an ecosystem."""
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        experiment: str,
+        seed: int = 0,
+        schedule: Optional[ExperimentSchedule] = None,
+        seed_plan: Optional[SeedPlan] = None,
+        pps: int = 100,
+    ) -> None:
+        if experiment not in ("surf", "internet2"):
+            raise ExperimentError("experiment must be 'surf' or 'internet2'")
+        self.ecosystem = ecosystem
+        self.experiment = experiment
+        self.schedule = schedule or ExperimentSchedule()
+        self.tree = SeedTree(seed).child("experiment-%s" % experiment)
+        self.seed_plan = seed_plan
+        self.pps = pps
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        ecosystem = self.ecosystem
+        schedule = self.schedule
+        if self.seed_plan is None:
+            self.seed_plan = select_seeds(
+                ecosystem, seed_tree=self.tree.child("seeds")
+            )
+        re_origin = ecosystem.re_origin_for(self.experiment)
+        commodity_origin = ecosystem.commodity_origin
+        host = MeasurementHost.for_experiment(
+            ecosystem.measurement_prefix,
+            re_origin,
+            commodity_origin,
+            self.experiment,
+        )
+        engine = PropagationEngine(ecosystem.topology, self.tree)
+        prober = Prober(
+            ecosystem.topology,
+            host,
+            self._systems_by_address(),
+            pps=self.pps,
+        )
+        result = ExperimentResult(
+            experiment=self.experiment,
+            schedule=schedule,
+            re_origin=re_origin,
+            commodity_origin=commodity_origin,
+            seed_plan=self.seed_plan,
+        )
+        flap_rng = self.tree.child("background-flaps").rng()
+        prefix = ecosystem.measurement_prefix
+        rib = engine_rib(engine, prefix)
+
+        # Phase 0: commodity announcement soaks alone.
+        result.convergence.append(
+            self._announce(engine, commodity_origin, 0, "commodity", result)
+        )
+        engine.advance_to(schedule.commodity_lead_seconds)
+
+        # Phase 1: R&E announcement at the first configuration.
+        configs = schedule.parsed_configs()
+        first_re, first_comm = configs[0]
+        if first_comm != 0:
+            result.convergence.append(
+                self._announce(engine, commodity_origin, first_comm,
+                               "commodity", result)
+            )
+        result.convergence.append(
+            self._announce(engine, re_origin, first_re, "re", result)
+        )
+        result.config_change_times.append(
+            (engine.now, schedule.configs[0])
+        )
+        next_probe_at = engine.now + schedule.initial_soak_seconds
+
+        previous = configs[0]
+        for index, config_label in enumerate(schedule.configs):
+            re_p, comm_p = configs[index]
+            if index > 0:
+                # Re-announce only the changed side (§3.3 ordering); the
+                # change is stamped before convergence so Figure 3's
+                # phase boundaries attribute the resulting churn to the
+                # configuration that caused it.
+                change_time = engine.now
+                result.config_change_times.append(
+                    (change_time, config_label)
+                )
+                if re_p != previous[0]:
+                    result.convergence.append(
+                        self._announce(engine, re_origin, re_p, "re", result)
+                    )
+                if comm_p != previous[1]:
+                    result.convergence.append(
+                        self._announce(engine, commodity_origin, comm_p,
+                                       "commodity", result)
+                    )
+                next_probe_at = change_time + schedule.soak_seconds
+            previous = (re_p, comm_p)
+
+            # Residual churn trails each reconfiguration; keep it clear
+            # of the probing window (the paper saw activity settled for
+            # at least ~50 minutes before each round).
+            flap_end = engine.now + 0.25 * (next_probe_at - engine.now)
+            self._background_flaps(
+                engine, flap_rng, engine.now, flap_end, result
+            )
+            engine.advance_to(next_probe_at)
+
+            round_rng = self.tree.child("round-%d" % index).rng()
+            round_result = prober.probe_round(
+                config_label,
+                self.seed_plan.targets,
+                rib,
+                round_rng,
+                engine.now,
+            )
+            result.rounds.append(round_result)
+            result.round_times.append(
+                (round_result.started_at,
+                 round_result.started_at + round_result.duration)
+            )
+            engine.advance_to(round_result.started_at + round_result.duration)
+            self._capture_feeder_views(engine, index, config_label, result)
+            self._apply_outages(engine, index, result)
+
+        result.update_log = list(engine.update_log)
+        return result
+
+    # ----- helpers ------------------------------------------------------
+
+    def _announce(
+        self,
+        engine: PropagationEngine,
+        origin: int,
+        prepends: int,
+        tag: str,
+        result: ExperimentResult,
+    ):
+        engine.announce(
+            origin,
+            self.ecosystem.measurement_prefix,
+            default_prepends=prepends,
+            tag=tag,
+        )
+        return engine.run_to_fixpoint()
+
+    def _systems_by_address(self) -> Dict[int, SystemPlan]:
+        systems: Dict[int, SystemPlan] = {}
+        for plan in self.ecosystem.prefix_plans.values():
+            for system in plan.systems:
+                systems[system.address] = system
+        return systems
+
+    def _apply_outages(
+        self, engine: PropagationEngine, round_index: int,
+        result: ExperimentResult,
+    ) -> None:
+        for outage in self.ecosystem.outages:
+            if outage.experiment != self.experiment:
+                continue
+            if outage.down_after_round == round_index:
+                engine.set_link_down(outage.a, outage.b)
+                engine.run_to_fixpoint()
+                result.outages_applied.append(
+                    OutageRecord(round_index, "down", outage.a, outage.b,
+                                 outage.victim_asn)
+                )
+            if outage.up_after_round == round_index:
+                engine.set_link_up(outage.a, outage.b)
+                engine.run_to_fixpoint()
+                result.outages_applied.append(
+                    OutageRecord(round_index, "up", outage.a, outage.b,
+                                 outage.victim_asn)
+                )
+
+    def _capture_feeder_views(
+        self,
+        engine: PropagationEngine,
+        round_index: int,
+        config: str,
+        result: ExperimentResult,
+    ) -> None:
+        """Record what each member feeder exports to the collector: its
+        loc-RIB best, or — for VRF-split feeders — the best among
+        commodity-learned routes only (§4.1.1)."""
+        ecosystem = self.ecosystem
+        prefix = ecosystem.measurement_prefix
+        vrf_split = set(ecosystem.feeders.vrf_split_feeders)
+        for feeder in ecosystem.feeders.member_feeders:
+            router = engine.router(feeder)
+            if feeder in vrf_split:
+                truth = ecosystem.members.get(feeder)
+                commodity = truth.commodity_neighbors if truth else []
+                route = router.best_from_neighbors(prefix, commodity)
+            else:
+                route = router.best_route(prefix)
+            observation = FeederObservation(
+                round_index=round_index,
+                config=config,
+                origin_asn=route.origin_asn if route else None,
+                tag=route.tag if route else "",
+                path=route.path.asns if route else (),
+            )
+            result.feeder_views.setdefault(feeder, []).append(observation)
+
+    def _background_flaps(
+        self,
+        engine: PropagationEngine,
+        rng: random.Random,
+        start: float,
+        end: float,
+        result: ExperimentResult,
+    ) -> None:
+        """Inject the residual churn §3.3 observed: occasional updates
+        on commodity routes from ordinary path-attribute wobble at
+        feeder networks, unrelated to our configuration changes."""
+        config = self.ecosystem.config
+        rate_per_second = config.background_flap_rate_per_hour / 3600.0
+        span = max(0.0, end - start)
+        expected = span * rate_per_second
+        count = 0
+        # Poisson draw via thinning on a small expected count.
+        remaining = expected
+        while remaining > 0:
+            if rng.random() < min(1.0, remaining):
+                count += 1
+            remaining -= 1.0
+        feeders = sorted(self.ecosystem.feeders.commodity_sessions)
+        if not feeders or count == 0:
+            return
+        prefix = self.ecosystem.measurement_prefix
+        for _ in range(count):
+            feeder = rng.choice(feeders)
+            route = engine.best_route(feeder, prefix)
+            if route is None or route.tag != "commodity":
+                continue
+            engine.update_log.append(
+                UpdateEvent(
+                    time=start + rng.random() * span,
+                    asn=feeder,
+                    prefix=prefix,
+                    route=route,
+                    session_weight=1,
+                )
+            )
+
+
+def run_both_experiments(
+    ecosystem: Ecosystem,
+    seed: int = 0,
+    schedule: Optional[ExperimentSchedule] = None,
+    pps: int = 100,
+) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Run the SURF and Internet2 experiments with shared probe seeds,
+    as the paper did one week apart."""
+    tree = SeedTree(seed)
+    shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
+    surf = ExperimentRunner(
+        ecosystem, "surf", seed=seed, schedule=schedule,
+        seed_plan=shared_seeds, pps=pps,
+    ).run()
+    internet2 = ExperimentRunner(
+        ecosystem, "internet2", seed=seed + 1, schedule=schedule,
+        seed_plan=shared_seeds, pps=pps,
+    ).run()
+    return surf, internet2

@@ -1,0 +1,26 @@
+"""Geolocation substrate (Netacuity-Edge analogue).
+
+The paper maps R&E prefixes to countries and U.S. states with a
+commercial geolocation database to build Figure 5.  We assign geography
+at generation time and expose it through :class:`GeoDatabase`, which
+analyses query exactly as they would query a real database.
+"""
+
+from .regions import (
+    CountryProfile,
+    EUROPE_PROFILES,
+    NON_EUROPE_PROFILES,
+    US_STATE_PROFILES,
+    StateProfile,
+)
+from .database import GeoDatabase, GeoRecord
+
+__all__ = [
+    "CountryProfile",
+    "StateProfile",
+    "EUROPE_PROFILES",
+    "NON_EUROPE_PROFILES",
+    "US_STATE_PROFILES",
+    "GeoDatabase",
+    "GeoRecord",
+]

@@ -1,0 +1,85 @@
+"""A queryable geolocation database (Netacuity-Edge analogue).
+
+Analyses look prefixes up by address or prefix exactly as the paper
+queried its commercial database; records are loaded from the topology
+at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import AnalysisError
+from ..netutil import Prefix, find_covering
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """Geolocation of one prefix."""
+
+    prefix: Prefix
+    country: str
+    us_state: Optional[str] = None
+
+
+class GeoDatabase:
+    """Longest-prefix-match geolocation lookups."""
+
+    def __init__(self, records: Iterable[GeoRecord] = ()) -> None:
+        self._by_prefix: Dict[Prefix, GeoRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: GeoRecord) -> None:
+        if record.prefix in self._by_prefix:
+            raise AnalysisError(
+                "duplicate geolocation record for %s" % record.prefix
+            )
+        self._by_prefix[record.prefix] = record
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+    def locate_prefix(self, prefix: Prefix) -> Optional[GeoRecord]:
+        """Exact-prefix lookup, falling back to the most specific
+        covering record."""
+        record = self._by_prefix.get(prefix)
+        if record is not None:
+            return record
+        covering = find_covering(self._by_prefix.keys(), prefix.network)
+        if covering is not None and self._by_prefix[covering].prefix.covers(prefix):
+            return self._by_prefix[covering]
+        return None
+
+    def locate_address(self, address: int) -> Optional[GeoRecord]:
+        covering = find_covering(self._by_prefix.keys(), address)
+        if covering is None:
+            return None
+        return self._by_prefix[covering]
+
+    def countries(self) -> List[str]:
+        return sorted({r.country for r in self._by_prefix.values()})
+
+    def us_states(self) -> List[str]:
+        return sorted(
+            {r.us_state for r in self._by_prefix.values() if r.us_state}
+        )
+
+    @classmethod
+    def from_topology(cls, topology) -> "GeoDatabase":
+        """Build a database from the geography annotations on a
+        :class:`~repro.topology.graph.Topology`."""
+        db = cls()
+        for prefix, info in topology.prefixes.items():
+            node = topology.node(info.origin_asn)
+            if node.country is None:
+                continue
+            db.add(
+                GeoRecord(
+                    prefix=prefix,
+                    country=node.country,
+                    us_state=node.us_state,
+                )
+            )
+        return db

@@ -1,0 +1,184 @@
+"""Region profiles driving the Figure 5 geography.
+
+Each country (and U.S. state) carries the structural properties §4.3
+identifies as the mechanisms behind regional extremes:
+
+- ``nren_offers_commodity`` — the NREN also sells commodity transit, so
+  members rarely buy separate commodity connections (Norway, Sweden,
+  France, Spain, Australia, New Zealand);
+- ``nren_prepends_commodity`` — the NREN prepends its announcements to
+  commodity transit providers, biasing equal-localpref observers toward
+  the R&E path;
+- ``nren_shares_ripe_provider`` — the NREN announces unprepended routes
+  to a provider that the observer (RIPE analogue) also uses, producing
+  short commodity paths that win tie-breaks (Germany via Deutsche
+  Telekom; also Brazil, Thailand, Ukraine, Belarus in the paper);
+- ``member_prepend_bias`` — probability that members in the region
+  prepend their own commodity announcements regardless of the global
+  mixture (NYSERNet members are "conditioned to prepend");
+- ``member_extra_commodity`` — probability that a member buys its own
+  commodity transit and does not prepend it (the California effect).
+
+``member_weight`` sets the relative number of member ASes generated in
+the region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CountryProfile:
+    code: str
+    name: str
+    member_weight: float
+    nren_offers_commodity: bool = False
+    nren_prepends_commodity: bool = False
+    nren_shares_ripe_provider: bool = False
+    member_prepend_bias: float = 0.0
+    member_extra_commodity: float = 0.25
+    in_europe: bool = True
+
+
+@dataclass(frozen=True)
+class StateProfile:
+    code: str
+    name: str
+    member_weight: float
+    regional_name: str
+    regional_offers_commodity: bool = False
+    regional_prepends_commodity: bool = False
+    member_prepend_bias: float = 0.0
+    member_extra_commodity: float = 0.25
+
+
+#: European countries shown in Figure 5a.  Weights approximate relative
+#: R&E AS populations; the extremes named in §4.3 carry their mechanism.
+EUROPE_PROFILES: Tuple[CountryProfile, ...] = (
+    CountryProfile("NL", "Netherlands", 1.0,
+                   nren_prepends_commodity=True, member_prepend_bias=0.6,
+                   member_extra_commodity=0.2),
+    CountryProfile("NO", "Norway", 0.6, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.9,
+                   member_extra_commodity=0.05),
+    CountryProfile("SE", "Sweden", 0.8, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.9,
+                   member_extra_commodity=0.05),
+    CountryProfile("FR", "France", 1.2, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.85,
+                   member_extra_commodity=0.07),
+    CountryProfile("ES", "Spain", 0.9, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.85,
+                   member_extra_commodity=0.07),
+    CountryProfile("DE", "Germany", 1.6, nren_shares_ripe_provider=True,
+                   member_prepend_bias=0.05, member_extra_commodity=0.3),
+    CountryProfile("UA", "Ukraine", 0.5, nren_shares_ripe_provider=True,
+                   member_prepend_bias=0.05, member_extra_commodity=0.35),
+    CountryProfile("BY", "Belarus", 0.3, nren_shares_ripe_provider=True,
+                   member_prepend_bias=0.05, member_extra_commodity=0.35),
+    CountryProfile("UK", "United Kingdom", 1.3, member_prepend_bias=0.5,
+                   member_extra_commodity=0.2),
+    CountryProfile("IT", "Italy", 1.0, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25),
+    CountryProfile("PL", "Poland", 0.8, member_prepend_bias=0.4,
+                   member_extra_commodity=0.3),
+    CountryProfile("CH", "Switzerland", 0.6, member_prepend_bias=0.6,
+                   member_extra_commodity=0.2),
+    CountryProfile("CZ", "Czechia", 0.5, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25),
+    CountryProfile("AT", "Austria", 0.4, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25),
+    CountryProfile("FI", "Finland", 0.4, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.8,
+                   member_extra_commodity=0.1),
+    CountryProfile("DK", "Denmark", 0.4, member_prepend_bias=0.6,
+                   member_extra_commodity=0.2),
+    CountryProfile("GR", "Greece", 0.4, member_prepend_bias=0.4,
+                   member_extra_commodity=0.3),
+    CountryProfile("PT", "Portugal", 0.3, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25),
+)
+
+#: Non-European countries referenced by §4.3 (Figure 5a discussion covers
+#: Australia/New Zealand highs and Brazil/Thailand lows).
+NON_EUROPE_PROFILES: Tuple[CountryProfile, ...] = (
+    CountryProfile("AU", "Australia", 0.9, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.9,
+                   member_extra_commodity=0.05, in_europe=False),
+    CountryProfile("NZ", "New Zealand", 0.4, nren_offers_commodity=True,
+                   nren_prepends_commodity=True, member_prepend_bias=0.9,
+                   member_extra_commodity=0.05, in_europe=False),
+    CountryProfile("BR", "Brazil", 0.9, nren_shares_ripe_provider=True,
+                   member_prepend_bias=0.05, member_extra_commodity=0.4,
+                   in_europe=False),
+    CountryProfile("TH", "Thailand", 0.4, nren_shares_ripe_provider=True,
+                   member_prepend_bias=0.05, member_extra_commodity=0.4,
+                   in_europe=False),
+    CountryProfile("JP", "Japan", 0.9, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25, in_europe=False),
+    CountryProfile("KR", "South Korea", 0.6, member_prepend_bias=0.5,
+                   member_extra_commodity=0.25, in_europe=False),
+    CountryProfile("CA", "Canada", 0.8, member_prepend_bias=0.55,
+                   member_extra_commodity=0.2, in_europe=False),
+    CountryProfile("RU", "Russia", 0.6, member_prepend_bias=0.3,
+                   member_extra_commodity=0.35, in_europe=False),
+)
+
+#: U.S. states shown in Figure 5b.  New York and California carry the
+#: mechanisms §4.3 describes; other states get intermediate mixtures.
+US_STATE_PROFILES: Tuple[StateProfile, ...] = (
+    StateProfile("NY", "New York", 1.4, "NYSERNet",
+                 regional_offers_commodity=False,
+                 member_prepend_bias=0.88, member_extra_commodity=0.10),
+    StateProfile("CA", "California", 2.2, "CENIC",
+                 regional_offers_commodity=True,
+                 regional_prepends_commodity=True,
+                 member_prepend_bias=0.35, member_extra_commodity=0.24),
+    StateProfile("TX", "Texas", 1.2, "LEARN",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("FL", "Florida", 0.9, "FLR",
+                 regional_offers_commodity=True,
+                 regional_prepends_commodity=True,
+                 member_prepend_bias=0.5, member_extra_commodity=0.2),
+    StateProfile("MI", "Michigan", 0.8, "Merit",
+                 regional_offers_commodity=True,
+                 member_prepend_bias=0.55, member_extra_commodity=0.2),
+    StateProfile("OH", "Ohio", 0.7, "OARnet",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("PA", "Pennsylvania", 0.8, "KINBER",
+                 member_prepend_bias=0.45, member_extra_commodity=0.25),
+    StateProfile("IL", "Illinois", 0.7, "MREN",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("WA", "Washington", 0.6, "PNWGP",
+                 member_prepend_bias=0.6, member_extra_commodity=0.2),
+    StateProfile("MA", "Massachusetts", 0.7, "OSHEAN-NE",
+                 member_prepend_bias=0.55, member_extra_commodity=0.2),
+    StateProfile("NC", "North Carolina", 0.6, "MCNC",
+                 regional_offers_commodity=True,
+                 regional_prepends_commodity=True,
+                 member_prepend_bias=0.55, member_extra_commodity=0.2),
+    StateProfile("GA", "Georgia", 0.6, "SoX",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("CO", "Colorado", 0.5, "FRGP",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("VA", "Virginia", 0.6, "MARIA",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("WI", "Wisconsin", 0.5, "WiscNet",
+                 member_prepend_bias=0.55, member_extra_commodity=0.2),
+    StateProfile("MN", "Minnesota", 0.5, "GigaPOP-MN",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("IN", "Indiana", 0.5, "I-Light",
+                 member_prepend_bias=0.5, member_extra_commodity=0.25),
+    StateProfile("UT", "Utah", 0.4, "UETN",
+                 member_prepend_bias=0.55, member_extra_commodity=0.2),
+)
+
+
+def country_profile_map() -> Dict[str, CountryProfile]:
+    return {p.code: p for p in EUROPE_PROFILES + NON_EUROPE_PROFILES}
+
+
+def state_profile_map() -> Dict[str, StateProfile]:
+    return {p.code: p for p in US_STATE_PROFILES}

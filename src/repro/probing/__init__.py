@@ -1,0 +1,30 @@
+"""Active probing substrate (§3.1).
+
+- :mod:`repro.probing.host` — the multi-homed measurement host with its
+  VLAN interfaces (Figure 2);
+- :mod:`repro.probing.forwarding` — the data-plane walker that carries
+  a response hop-by-hop along each AS's *own* best route back to the
+  measurement prefix (the return-path signal the method measures);
+- :mod:`repro.probing.prober` — a scamper-like prober: paced probe
+  rounds, per-probe loss, and IP_PKTINFO-style arrival-interface
+  recording.
+"""
+
+from .host import MeasurementHost, VLANInterface
+from .forwarding import ForwardingOutcome, ReturnPath, walk_return_path
+from .prober import ProbeResponse, Prober, RoundResult
+from .traceroute import TracerouteResult, paths_are_symmetric, traceroute
+
+__all__ = [
+    "MeasurementHost",
+    "VLANInterface",
+    "ForwardingOutcome",
+    "ReturnPath",
+    "walk_return_path",
+    "ProbeResponse",
+    "Prober",
+    "RoundResult",
+    "TracerouteResult",
+    "traceroute",
+    "paths_are_symmetric",
+]

@@ -1,0 +1,117 @@
+"""AS-level data-plane forwarding of response traffic.
+
+A response leaves the probed system's AS and is forwarded hop-by-hop:
+every transit AS uses its *own* best route for the measurement prefix
+(§3.4 — intermediate policies can dominate the edge's).  The walk ends
+at one of the announcement origins, identifying the arrival interface,
+or fails (no route and no default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Set
+
+from ..netutil import Prefix
+from ..topology.graph import Topology
+
+#: Generous AS-level TTL; real AS paths never approach this.
+MAX_AS_HOPS = 64
+
+
+class ForwardingOutcome(Enum):
+    DELIVERED = "delivered"
+    NO_ROUTE = "no-route"
+    LOOP = "loop"
+
+
+@dataclass
+class ReturnPath:
+    """The walk taken by a response."""
+
+    outcome: ForwardingOutcome
+    origin_asn: Optional[int]     # terminating announcement origin
+    hops: List[int]               # AS-level path, starting AS first
+    used_default: bool = False    # a default route carried some hop
+
+
+def walk_return_path(
+    topology: Topology,
+    best_route_of: Callable[[int], object],
+    start_asn: int,
+    origin_asns: Set[int],
+    prefix: Prefix,
+) -> ReturnPath:
+    """Walk from *start_asn* toward the measurement prefix.
+
+    ``best_route_of(asn)`` returns the AS's current best
+    :class:`~repro.bgp.attributes.Route` for the measurement prefix (or
+    None); adapters exist for both propagation engines.  ``origin_asns``
+    are the announcement origins (walk terminators).
+    """
+    hops: List[int] = [start_asn]
+    current = start_asn
+    used_default = False
+    visited = {start_asn}
+    for _ in range(MAX_AS_HOPS):
+        if current in origin_asns:
+            return ReturnPath(
+                outcome=ForwardingOutcome.DELIVERED,
+                origin_asn=current,
+                hops=hops,
+                used_default=used_default,
+            )
+        route = best_route_of(current)
+        if route is None:
+            default_via = topology.node(current).policy.default_route_via
+            if default_via is None:
+                return ReturnPath(
+                    outcome=ForwardingOutcome.NO_ROUTE,
+                    origin_asn=None,
+                    hops=hops,
+                    used_default=used_default,
+                )
+            next_hop = default_via
+            used_default = True
+        elif route.learned_from is None:
+            # Locally originated at a non-origin AS should not happen
+            # for the measurement prefix; treat as delivery point.
+            return ReturnPath(
+                outcome=ForwardingOutcome.DELIVERED,
+                origin_asn=current,
+                hops=hops,
+                used_default=used_default,
+            )
+        else:
+            next_hop = route.learned_from
+        if next_hop in visited:
+            return ReturnPath(
+                outcome=ForwardingOutcome.LOOP,
+                origin_asn=None,
+                hops=hops + [next_hop],
+                used_default=used_default,
+            )
+        visited.add(next_hop)
+        hops.append(next_hop)
+        current = next_hop
+    return ReturnPath(
+        outcome=ForwardingOutcome.LOOP,
+        origin_asn=None,
+        hops=hops,
+        used_default=used_default,
+    )
+
+
+def engine_rib(engine, prefix: Prefix) -> Callable[[int], object]:
+    """Adapter: best-route lookup over a PropagationEngine."""
+    def lookup(asn: int):
+        return engine.best_route(asn, prefix)
+    return lookup
+
+
+def fastpath_rib(result) -> Callable[[int], object]:
+    """Adapter: best-route lookup over a FastpathResult."""
+    def lookup(asn: int):
+        return result.route_at(asn)
+    return lookup

@@ -1,0 +1,98 @@
+"""The multi-homed measurement host (Figure 2).
+
+The real host sat in Atlanta with a loopback address inside the
+measurement prefix and one VLAN interface per upstream: Internet2's
+R&E VRF, Internet2's commodity (blend) VRF, and — during the May
+experiment — a tunnel delivering SURF's R&E traffic.  scamper recorded
+the arrival interface of each response via the IP_PKTINFO ancillary
+message.
+
+Here an interface is identified by the announcement tag whose origin
+terminates the return walk: a response whose walk ends at the R&E
+origin arrives on the R&E VLAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ExperimentError
+from ..netutil import Prefix, parse_address
+
+#: The loopback source address used in probes (§3.1).
+DEFAULT_SOURCE = parse_address("163.253.63.63")
+
+
+@dataclass(frozen=True)
+class VLANInterface:
+    """One host VLAN interface."""
+
+    name: str
+    kind: str          # "re" or "commodity"
+    description: str
+
+
+class MeasurementHost:
+    """Maps terminating announcement origins to arrival interfaces."""
+
+    def __init__(
+        self,
+        measurement_prefix: Prefix,
+        source_address: int = DEFAULT_SOURCE,
+    ) -> None:
+        if not measurement_prefix.contains_address(source_address):
+            raise ExperimentError(
+                "source address outside the measurement prefix"
+            )
+        self.measurement_prefix = measurement_prefix
+        self.source_address = source_address
+        self._interfaces: Dict[int, VLANInterface] = {}
+
+    def attach(self, origin_asn: int, interface: VLANInterface) -> None:
+        """Bind an announcement origin to a host interface."""
+        if origin_asn in self._interfaces:
+            raise ExperimentError(
+                "origin AS %d already attached" % origin_asn
+            )
+        self._interfaces[origin_asn] = interface
+
+    def interfaces(self) -> List[VLANInterface]:
+        return list(self._interfaces.values())
+
+    def origin_asns(self) -> List[int]:
+        return sorted(self._interfaces)
+
+    def interface_for_origin(self, origin_asn: int) -> VLANInterface:
+        try:
+            return self._interfaces[origin_asn]
+        except KeyError:
+            raise ExperimentError(
+                "no interface attached for origin AS %d" % origin_asn
+            ) from None
+
+    @classmethod
+    def for_experiment(
+        cls,
+        measurement_prefix: Prefix,
+        re_origin: int,
+        commodity_origin: int,
+        experiment: str,
+    ) -> "MeasurementHost":
+        """Build the Figure 2 host for one experiment."""
+        host = cls(measurement_prefix)
+        if experiment == "surf":
+            re_iface = VLANInterface(
+                "ens3f1np1.1001", "re", "SURF R&E tunnel"
+            )
+        else:
+            re_iface = VLANInterface(
+                "ens3f1np1.17", "re", "Internet2 R&E VRF"
+            )
+        host.attach(re_origin, re_iface)
+        host.attach(
+            commodity_origin,
+            VLANInterface("ens3f1np1.18", "commodity",
+                          "Internet2 blend (commodity) VRF"),
+        )
+        return host

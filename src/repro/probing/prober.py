@@ -1,0 +1,152 @@
+"""A scamper-like prober (§3.1).
+
+Probes a round of targets at a fixed packet rate, records which VLAN
+interface each response arrives on (IP_PKTINFO-style), and synthesises
+RTTs from AS-path hop counts.  Loss has two sources: per-system
+transient loss (flaky hosts) and forwarding failure (no return route).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ExperimentError
+from ..netutil import Prefix
+from ..topology.graph import Topology
+from ..topology.re_config import SystemPlan
+from ..seeds.selection import ProbeTarget
+from .forwarding import ForwardingOutcome, walk_return_path
+from .host import MeasurementHost
+
+DEFAULT_PPS = 100
+
+
+@dataclass
+class ProbeResponse:
+    """One probe and its (possible) response."""
+
+    target: ProbeTarget
+    tx_time: float
+    responded: bool
+    interface_kind: Optional[str] = None   # "re" / "commodity"
+    origin_asn: Optional[int] = None
+    rtt_ms: Optional[float] = None
+    outcome: Optional[ForwardingOutcome] = None
+    hops: int = 0
+
+
+@dataclass
+class RoundResult:
+    """One active probing round (one prepend configuration)."""
+
+    config: str
+    started_at: float
+    duration: float = 0.0
+    responses: Dict[Prefix, List[ProbeResponse]] = field(default_factory=dict)
+
+    def interfaces_seen(self, prefix: Prefix) -> List[str]:
+        """Distinct interface kinds among this prefix's responses."""
+        kinds = {
+            response.interface_kind
+            for response in self.responses.get(prefix, [])
+            if response.responded and response.interface_kind
+        }
+        return sorted(kinds)
+
+    def response_count(self) -> int:
+        return sum(
+            1
+            for responses in self.responses.values()
+            for response in responses
+            if response.responded
+        )
+
+    def probe_count(self) -> int:
+        return sum(len(r) for r in self.responses.values())
+
+
+class Prober:
+    """Paced prober over the simulated data plane."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        host: MeasurementHost,
+        systems_by_address: Dict[int, SystemPlan],
+        pps: int = DEFAULT_PPS,
+    ) -> None:
+        if pps <= 0:
+            raise ExperimentError("probe rate must be positive")
+        self.topology = topology
+        self.host = host
+        self.systems_by_address = systems_by_address
+        self.pps = pps
+
+    def probe_round(
+        self,
+        config: str,
+        targets_by_prefix: Dict[Prefix, List[ProbeTarget]],
+        best_route_of: Callable[[int], object],
+        rng: random.Random,
+        now: float,
+    ) -> RoundResult:
+        """Probe every target once, pacing at ``pps``."""
+        result = RoundResult(config=config, started_at=now)
+        origin_set = set(self.host.origin_asns())
+        tx = now
+        interval = 1.0 / self.pps
+        for prefix in sorted(
+            targets_by_prefix, key=lambda p: (p.network, p.length)
+        ):
+            for target in targets_by_prefix[prefix]:
+                response = self._probe_one(
+                    target, best_route_of, origin_set, rng, tx
+                )
+                result.responses.setdefault(prefix, []).append(response)
+                tx += interval
+        result.duration = tx - now
+        return result
+
+    def _probe_one(
+        self,
+        target: ProbeTarget,
+        best_route_of: Callable[[int], object],
+        origin_set,
+        rng: random.Random,
+        tx: float,
+    ) -> ProbeResponse:
+        system = self.systems_by_address.get(target.address)
+        if system is None or not system.alive:
+            return ProbeResponse(target=target, tx_time=tx, responded=False)
+        if rng.random() < system.loss_probability:
+            return ProbeResponse(target=target, tx_time=tx, responded=False)
+        path = walk_return_path(
+            self.topology,
+            best_route_of,
+            system.attached_asn,
+            origin_set,
+            target.prefix,
+        )
+        if path.outcome is not ForwardingOutcome.DELIVERED:
+            return ProbeResponse(
+                target=target,
+                tx_time=tx,
+                responded=False,
+                outcome=path.outcome,
+                hops=len(path.hops),
+            )
+        interface = self.host.interface_for_origin(path.origin_asn)
+        hop_count = len(path.hops)
+        rtt = 4.0 * hop_count + rng.uniform(1.0, 25.0)
+        return ProbeResponse(
+            target=target,
+            tx_time=tx,
+            responded=True,
+            interface_kind=interface.kind,
+            origin_asn=path.origin_asn,
+            rtt_ms=rtt,
+            outcome=path.outcome,
+            hops=hop_count,
+        )

@@ -1,0 +1,32 @@
+"""Probe-seed datasets and selection (§3.2).
+
+- :mod:`repro.seeds.isi` — ISI IPv4 Response History analogue: per
+  prefix, score-ranked addresses that ever responded to a census;
+- :mod:`repro.seeds.censys` — Censys analogue: responsive TCP/UDP
+  service tuples per prefix;
+- :mod:`repro.seeds.selection` — the paper's pipeline: exclude covered
+  prefixes, probe up to ten candidates from each dataset, and keep up
+  to three currently-responsive targets per prefix.
+"""
+
+from .isi import ISIEntry, ISIHistoryDataset
+from .censys import CensysDataset, CensysService
+from .selection import (
+    ProbeMethod,
+    ProbeTarget,
+    SeedFunnel,
+    SeedPlan,
+    select_seeds,
+)
+
+__all__ = [
+    "ISIEntry",
+    "ISIHistoryDataset",
+    "CensysDataset",
+    "CensysService",
+    "ProbeMethod",
+    "ProbeTarget",
+    "SeedFunnel",
+    "SeedPlan",
+    "select_seeds",
+]

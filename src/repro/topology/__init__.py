@@ -1,0 +1,27 @@
+"""AS-level topology: nodes, relationships, prefixes, and generators.
+
+- :mod:`repro.topology.graph` — the :class:`Topology` container;
+- :mod:`repro.topology.scenarios` — small hand-built topologies from the
+  paper's figures (Columbia/Figure 1, NIKS/Figure 4, IXP/Figure 6);
+- :mod:`repro.topology.re_ecosystem` — the parameterised synthetic R&E
+  ecosystem generator used by the headline experiments.
+"""
+
+from .graph import ASClass, ASNode, Topology
+from .scenarios import (
+    build_columbia_scenario,
+    build_ixp_scenario,
+    build_niks_scenario,
+)
+from .re_ecosystem import REEcosystemConfig, build_ecosystem
+
+__all__ = [
+    "ASClass",
+    "ASNode",
+    "Topology",
+    "build_columbia_scenario",
+    "build_ixp_scenario",
+    "build_niks_scenario",
+    "REEcosystemConfig",
+    "build_ecosystem",
+]

@@ -1,0 +1,96 @@
+"""Sequential prefix allocation for generated topologies.
+
+The allocator hands out non-overlapping prefixes from a pool of /8
+blocks, and can deliberately carve a *covered* subprefix out of an
+already-allocated prefix (the paper excludes 437 such prefixes, §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import AddressError
+from ..netutil import Prefix
+
+#: Default allocation pool: blocks that read as plausible unicast space.
+DEFAULT_POOL = (
+    Prefix.parse("128.0.0.0/8"),
+    Prefix.parse("129.0.0.0/8"),
+    Prefix.parse("130.0.0.0/8"),
+    Prefix.parse("131.0.0.0/8"),
+    Prefix.parse("132.0.0.0/8"),
+    Prefix.parse("134.0.0.0/8"),
+    Prefix.parse("136.0.0.0/8"),
+    Prefix.parse("137.0.0.0/8"),
+    Prefix.parse("138.0.0.0/8"),
+    Prefix.parse("139.0.0.0/8"),
+    Prefix.parse("140.0.0.0/8"),
+    Prefix.parse("141.0.0.0/8"),
+    Prefix.parse("142.0.0.0/8"),
+    Prefix.parse("143.0.0.0/8"),
+    Prefix.parse("144.0.0.0/8"),
+    Prefix.parse("145.0.0.0/8"),
+)
+
+
+class PrefixAllocator:
+    """Allocates non-overlapping prefixes sequentially from a pool.
+
+    Allocation is at /16 granularity internally: each call to
+    :meth:`allocate` consumes the next free /16-aligned slice large
+    enough for the requested length (lengths 16..24 supported).
+    """
+
+    MIN_LENGTH = 16
+    MAX_LENGTH = 24
+
+    def __init__(self, pool=DEFAULT_POOL) -> None:
+        self._pool: List[Prefix] = list(pool)
+        if not self._pool:
+            raise AddressError("empty allocation pool")
+        self._block_index = 0
+        self._cursor = self._pool[0].network
+        self.allocated: List[Prefix] = []
+
+    def allocate(self, length: int = 24) -> Prefix:
+        """Allocate the next free, naturally aligned prefix of the
+        given length.
+
+        The cursor only moves forward, so allocations never overlap and
+        covered prefixes are only made deliberately via
+        :meth:`carve_covered`.
+        """
+        if not self.MIN_LENGTH <= length <= self.MAX_LENGTH:
+            raise AddressError(
+                "allocator supports /%d../%d, got /%d"
+                % (self.MIN_LENGTH, self.MAX_LENGTH, length)
+            )
+        size = 1 << (32 - length)
+        # Align the cursor up to the prefix's natural boundary.
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        block = self._pool[self._block_index]
+        if aligned + size - 1 > block.last_address:
+            self._block_index += 1
+            if self._block_index >= len(self._pool):
+                raise AddressError("prefix allocation pool exhausted")
+            block = self._pool[self._block_index]
+            aligned = block.network
+        prefix = Prefix(aligned, length)
+        self._cursor = aligned + size
+        self.allocated.append(prefix)
+        return prefix
+
+    def carve_covered(self, parent: Prefix, length: Optional[int] = None) -> Prefix:
+        """Return a subprefix strictly inside *parent* (used to generate
+        the covered prefixes that §3.2 excludes)."""
+        if length is None:
+            length = min(parent.length + 2, 26)
+        if length <= parent.length:
+            raise AddressError(
+                "covered prefix must be more specific than %s" % parent
+            )
+        # Take the second subprefix so it is visibly distinct from the
+        # parent's network address.
+        sub = list(parent.subprefixes(length))[1]
+        self.allocated.append(sub)
+        return sub

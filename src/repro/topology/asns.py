@@ -1,0 +1,42 @@
+"""Well-known ASNs used throughout the reproduction.
+
+Real-world ASNs from the paper are used for the named networks;
+generated ASes draw from the synthetic ranges below so they can never
+collide with the named ones.
+"""
+
+from __future__ import annotations
+
+# Measurement announcements (§3.3).
+AS_INTERNET2 = 11537          # Internet2 R&E — R&E origin in the June run
+AS_INTERNET2_BLEND = 396955   # commodity origin (blend), via Lumen
+AS_SURF = 1103                # SURF — R&E transit for the May run
+AS_SURF_ORIGIN = 1125         # R&E origin in the May run
+
+# Commodity networks named in the paper.
+AS_LUMEN = 3356
+AS_COGENT = 174
+AS_ARELION = 1299
+AS_DT = 3320
+
+# R&E networks named in the paper.
+AS_GEANT = 20965
+AS_NORDUNET = 2603
+AS_NYSERNET = 3754
+AS_CENIC = 2152
+AS_NIKS = 3267
+
+# Other named networks.
+AS_RIPE = 3333
+AS_ESNET = 293
+AS_CANARIE = 6509
+AS_AARNET = 7575
+
+# Synthetic allocation ranges (kept disjoint).
+TIER1_BASE = 5000
+TRANSIT_BASE = 30000
+NREN_BASE = 40000
+REGIONAL_BASE = 45000
+ASYM_TRANSIT_BASE = 48000
+MEMBER_BASE = 100000
+COLLECTOR_BASE = 900000

@@ -1,0 +1,313 @@
+"""The AS-level topology container.
+
+A :class:`Topology` holds AS nodes, their inter-AS links (with business
+relationships and R&E-fabric flags), per-AS routing policies, and prefix
+originations.  Both propagation engines and all analyses read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..errors import TopologyError
+from ..netutil import Prefix
+from ..bgp.policy import Rel, RoutingPolicy
+
+
+class ASClass(Enum):
+    """Coarse role of an AS in the ecosystem."""
+
+    TIER1 = "tier1"                    # commodity tier-1 backbone
+    TRANSIT = "transit"                # commodity transit / regional ISP
+    RE_BACKBONE = "re-backbone"        # Internet2, GEANT, NORDUnet, ...
+    NREN = "nren"                      # national R&E network (Peer-NREN side)
+    RE_REGIONAL = "re-regional"        # U.S. regional (NYSERNet, CENIC, ...)
+    MEMBER = "member"                  # R&E member institution
+    MEASUREMENT = "measurement"        # measurement-prefix origin ASes
+    OTHER = "other"
+
+    @property
+    def is_re(self) -> bool:
+        """Does this class carry R&E routing (for upstream typing)?"""
+        return self in (
+            ASClass.RE_BACKBONE,
+            ASClass.NREN,
+            ASClass.RE_REGIONAL,
+        )
+
+
+class MemberSide(Enum):
+    """Which Internet2 neighbor class a member's prefixes belong to (§2.1)."""
+
+    PARTICIPANT = "participant"   # U.S. domestic R&E
+    PEER_NREN = "peer-nren"       # international R&E
+
+
+@dataclass
+class ASNode:
+    """One AS: identity, class, geography, policy, and tags."""
+
+    asn: int
+    name: str
+    klass: ASClass
+    country: Optional[str] = None
+    us_state: Optional[str] = None
+    policy: RoutingPolicy = field(default_factory=RoutingPolicy)
+    tags: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.asn < 0:
+            raise TopologyError("ASN must be non-negative: %r" % (self.asn,))
+
+
+@dataclass(frozen=True)
+class Link:
+    """An inter-AS link.  ``rel`` is the relationship of ``b`` as seen
+    from ``a`` (``Rel.CUSTOMER`` means *b is a's customer*).  ``fabric``
+    marks R&E-fabric links eligible for peer->peer re-export."""
+
+    a: int
+    b: int
+    rel: Rel
+    fabric: bool = False
+
+
+@dataclass
+class PrefixInfo:
+    """Metadata for one originated prefix."""
+
+    prefix: Prefix
+    origin_asn: int
+    side: Optional[MemberSide] = None
+    tags: Set[str] = field(default_factory=set)
+
+
+class Topology:
+    """A mutable AS-level topology.
+
+    Neighbor relationships are stored from each endpoint's perspective,
+    so ``topology.rel(a, b)`` answers "what is b to a?".
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ASNode] = {}
+        self._neighbors: Dict[int, Dict[int, Rel]] = {}
+        self._fabric: Set[frozenset] = set()
+        self.prefixes: Dict[Prefix, PrefixInfo] = {}
+        self._origins: Dict[int, List[Prefix]] = {}
+
+    # ----- nodes -------------------------------------------------------
+
+    def add_as(
+        self,
+        asn: int,
+        name: str,
+        klass: ASClass = ASClass.OTHER,
+        country: Optional[str] = None,
+        us_state: Optional[str] = None,
+        policy: Optional[RoutingPolicy] = None,
+    ) -> ASNode:
+        """Create and register an AS node."""
+        if asn in self.nodes:
+            raise TopologyError("duplicate ASN %d" % asn)
+        node = ASNode(
+            asn=asn,
+            name=name,
+            klass=klass,
+            country=country,
+            us_state=us_state,
+            policy=policy if policy is not None else RoutingPolicy(),
+        )
+        self.nodes[asn] = node
+        self._neighbors[asn] = {}
+        return node
+
+    def node(self, asn: int) -> ASNode:
+        try:
+            return self.nodes[asn]
+        except KeyError:
+            raise TopologyError("unknown ASN %d" % asn) from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def ases(self) -> Iterator[ASNode]:
+        return iter(self.nodes.values())
+
+    def ases_of_class(self, klass: ASClass) -> List[ASNode]:
+        return [node for node in self.nodes.values() if node.klass is klass]
+
+    def tagged(self, tag: str) -> List[ASNode]:
+        return [node for node in self.nodes.values() if tag in node.tags]
+
+    # ----- links -------------------------------------------------------
+
+    def add_link(
+        self, a: int, b: int, rel_of_b_from_a: Rel, fabric: bool = False
+    ) -> None:
+        """Link ASes *a* and *b*; ``rel_of_b_from_a`` is what *b* is to
+        *a* (e.g. ``Rel.CUSTOMER`` means b is a's customer)."""
+        if a == b:
+            raise TopologyError("self-link on ASN %d" % a)
+        for asn in (a, b):
+            if asn not in self.nodes:
+                raise TopologyError("unknown ASN %d" % asn)
+        if b in self._neighbors[a]:
+            raise TopologyError("duplicate link %d-%d" % (a, b))
+        self._neighbors[a][b] = rel_of_b_from_a
+        self._neighbors[b][a] = rel_of_b_from_a.flipped()
+        if fabric:
+            self._fabric.add(frozenset((a, b)))
+
+    def add_provider(self, customer: int, provider: int) -> None:
+        """Convenience: *provider* provides transit to *customer*."""
+        self.add_link(customer, provider, Rel.PROVIDER)
+
+    def add_peering(self, a: int, b: int, fabric: bool = False) -> None:
+        self.add_link(a, b, Rel.PEER, fabric=fabric)
+
+    def rel(self, a: int, b: int) -> Rel:
+        """Relationship of *b* from *a*'s perspective."""
+        try:
+            return self._neighbors[a][b]
+        except KeyError:
+            raise TopologyError("no link %d-%d" % (a, b)) from None
+
+    def has_link(self, a: int, b: int) -> bool:
+        return b in self._neighbors.get(a, {})
+
+    def is_fabric(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._fabric
+
+    def neighbors(self, asn: int) -> Dict[int, Rel]:
+        """Neighbors of *asn* mapped to their relationship from *asn*'s
+        perspective (a copy-free live view; do not mutate)."""
+        try:
+            return self._neighbors[asn]
+        except KeyError:
+            raise TopologyError("unknown ASN %d" % asn) from None
+
+    def neighbors_with_rel(self, asn: int, rel: Rel) -> List[int]:
+        return [
+            nbr for nbr, r in self.neighbors(asn).items() if r is rel
+        ]
+
+    def customers(self, asn: int) -> List[int]:
+        return self.neighbors_with_rel(asn, Rel.CUSTOMER)
+
+    def providers(self, asn: int) -> List[int]:
+        return self.neighbors_with_rel(asn, Rel.PROVIDER)
+
+    def peers(self, asn: int) -> List[int]:
+        return self.neighbors_with_rel(asn, Rel.PEER)
+
+    def links(self) -> Iterator[Link]:
+        """Iterate every link once (from the lower-ASN endpoint)."""
+        for a in sorted(self._neighbors):
+            for b, rel in sorted(self._neighbors[a].items()):
+                if a < b:
+                    yield Link(a, b, rel, self.is_fabric(a, b))
+
+    def num_links(self) -> int:
+        return sum(1 for _ in self.links())
+
+    # ----- prefixes ----------------------------------------------------
+
+    def originate(
+        self,
+        asn: int,
+        prefix: Prefix,
+        side: Optional[MemberSide] = None,
+        tags: Optional[Iterable[str]] = None,
+    ) -> PrefixInfo:
+        """Register *prefix* as originated by *asn*."""
+        if asn not in self.nodes:
+            raise TopologyError("unknown ASN %d" % asn)
+        if prefix in self.prefixes:
+            raise TopologyError("prefix %s already originated" % prefix)
+        info = PrefixInfo(
+            prefix=prefix,
+            origin_asn=asn,
+            side=side,
+            tags=set(tags) if tags else set(),
+        )
+        self.prefixes[prefix] = info
+        self._origins.setdefault(asn, []).append(prefix)
+        return info
+
+    def origin_of(self, prefix: Prefix) -> int:
+        try:
+            return self.prefixes[prefix].origin_asn
+        except KeyError:
+            raise TopologyError("prefix %s not originated" % prefix) from None
+
+    def prefixes_of(self, asn: int) -> List[Prefix]:
+        return list(self._origins.get(asn, []))
+
+    # ----- upstream classification (§4.2) -------------------------------
+
+    def re_neighbors_of(self, asn: int) -> List[int]:
+        """Neighbors of *asn* that are R&E networks (provider or peer)."""
+        return [
+            nbr
+            for nbr, rel in self.neighbors(asn).items()
+            if rel in (Rel.PROVIDER, Rel.PEER)
+            and self.nodes[nbr].klass.is_re
+        ]
+
+    def commodity_neighbors_of(self, asn: int) -> List[int]:
+        """Neighbors of *asn* that are commodity upstreams."""
+        return [
+            nbr
+            for nbr, rel in self.neighbors(asn).items()
+            if rel in (Rel.PROVIDER, Rel.PEER)
+            and not self.nodes[nbr].klass.is_re
+            and self.nodes[nbr].klass is not ASClass.MEASUREMENT
+        ]
+
+    # ----- sanity checks ------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise TopologyError if the customer-provider digraph has a
+        cycle (providers must form a hierarchy) or references dangle."""
+        state: Dict[int, int] = {}  # 0 unvisited, 1 in-stack, 2 done
+
+        def visit(asn: int) -> None:
+            stack = [(asn, iter(self.providers(asn)))]
+            state[asn] = 1
+            while stack:
+                current, providers = stack[-1]
+                advanced = False
+                for provider in providers:
+                    mark = state.get(provider, 0)
+                    if mark == 1:
+                        raise TopologyError(
+                            "customer-provider cycle through AS %d"
+                            % provider
+                        )
+                    if mark == 0:
+                        state[provider] = 1
+                        stack.append(
+                            (provider, iter(self.providers(provider)))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    state[current] = 2
+                    stack.pop()
+
+        for asn in self.nodes:
+            if state.get(asn, 0) == 0:
+                visit(asn)
+
+        for prefix, info in self.prefixes.items():
+            if info.origin_asn not in self.nodes:
+                raise TopologyError(
+                    "prefix %s originated by unknown AS %d"
+                    % (prefix, info.origin_asn)
+                )

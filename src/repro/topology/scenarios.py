@@ -1,0 +1,212 @@
+"""Hand-built topologies reproducing the paper's illustrative figures.
+
+- :func:`build_columbia_scenario` — Figure 1: Columbia receives UCSD
+  prefixes via NYSERNet (R&E) and Cogent (commodity) with equal AS path
+  lengths; only a localpref differential makes R&E deterministic.
+- :func:`build_niks_scenario` — Figure 4: NIKS assigns localpref 102 to
+  GEANT and 50 to both NORDUnet and Arelion, so the SURF-announced route
+  always wins via GEANT while the Internet2-announced route competes
+  with commodity on AS path length.
+- :func:`build_ixp_scenario` — Figure 6: a measurement host multi-homed
+  to an IXP route server and a Tier-1, used to infer whether IXP members
+  assign equal localpref to peer and provider routes.
+
+Well-known ASNs from the paper are used where applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netutil import Prefix
+from .graph import ASClass, MemberSide, Topology
+
+# ASNs from the paper.
+AS_COLUMBIA = 14
+AS_NYSERNET = 3754
+AS_INTERNET2 = 11537
+AS_INTERNET2_BLEND = 396955
+AS_CENIC = 2152
+AS_UCSD = 7377
+AS_COGENT = 174
+AS_LUMEN = 3356
+AS_GEANT = 20965
+AS_SURF = 1103
+AS_SURF_ORIGIN = 1125
+AS_NORDUNET = 2603
+AS_NIKS = 3267
+AS_ARELION = 1299
+AS_RIPE = 3333
+AS_DT = 3320
+
+MEASUREMENT_PREFIX = Prefix.parse("163.253.63.0/24")
+
+
+def build_columbia_scenario(columbia_prefers_re: bool = True) -> Topology:
+    """Figure 1: UCSD prefixes reach Columbia via both NYSERNet (R&E) and
+    Cogent (commodity) with equal AS path lengths.
+
+    When *columbia_prefers_re* is True, Columbia assigns NYSERNet a
+    higher localpref; otherwise both neighbors get the same localpref
+    and the tie falls through to AS path length (then lower neighbor
+    ASN, which favours Cogent's commodity path — the nondeterminism the
+    paper warns about).
+    """
+    topo = Topology()
+    topo.add_as(AS_COLUMBIA, "Columbia", ASClass.MEMBER, country="US",
+                us_state="NY")
+    topo.add_as(AS_NYSERNET, "NYSERNet", ASClass.RE_REGIONAL, country="US",
+                us_state="NY")
+    topo.add_as(AS_INTERNET2, "Internet2", ASClass.RE_BACKBONE, country="US")
+    topo.add_as(AS_CENIC, "CENIC", ASClass.RE_REGIONAL, country="US",
+                us_state="CA")
+    topo.add_as(AS_UCSD, "UCSD", ASClass.MEMBER, country="US", us_state="CA")
+    topo.add_as(AS_COGENT, "Cogent", ASClass.TIER1, country="US")
+    topo.add_as(AS_LUMEN, "Lumen", ASClass.TIER1, country="US")
+
+    # R&E side: UCSD -> CENIC -> Internet2 -> NYSERNet -> Columbia,
+    # giving the figure's path 3754 11537 2152 7377.
+    topo.add_provider(AS_UCSD, AS_CENIC)
+    topo.add_provider(AS_CENIC, AS_INTERNET2)
+    topo.add_provider(AS_NYSERNET, AS_INTERNET2)
+    topo.add_provider(AS_COLUMBIA, AS_NYSERNET)
+    # Commodity side: CENIC also provides commodity transit via Lumen,
+    # so the commodity path is 174 3356 2152 7377 — the same length as
+    # the R&E path, exactly as in Figure 1.
+    topo.add_provider(AS_CENIC, AS_LUMEN)
+    topo.add_peering(AS_LUMEN, AS_COGENT)
+    topo.add_provider(AS_COLUMBIA, AS_COGENT)
+
+    columbia = topo.node(AS_COLUMBIA)
+    if columbia_prefers_re:
+        columbia.policy.set_neighbor_localpref(AS_NYSERNET, 150)
+        columbia.policy.set_neighbor_localpref(AS_COGENT, 100)
+    else:
+        columbia.policy.set_neighbor_localpref(AS_NYSERNET, 100)
+        columbia.policy.set_neighbor_localpref(AS_COGENT, 100)
+
+    topo.originate(AS_UCSD, Prefix.parse("132.239.0.0/16"),
+                   side=MemberSide.PARTICIPANT)
+    topo.validate()
+    return topo
+
+
+def build_niks_scenario() -> Tuple[Topology, Dict[str, int]]:
+    """Figure 4: the NIKS localpref asymmetry.
+
+    Returns the topology plus a dict of the key ASNs.  NIKS peers with
+    GEANT (localpref 102), buys transit from NORDUnet and Arelion (both
+    localpref 50).  SURF is GEANT's member, Internet2 is a fabric peer
+    of both GEANT and NORDUnet.  A NIKS customer (an R&E member)
+    originates one prefix.
+
+    With Gao-Rexford export this reproduces the paper's observation:
+
+    - SURF announcement (via GEANT's *customer* SURF) reaches NIKS from
+      GEANT and always wins on localpref 102;
+    - Internet2 announcement reaches NIKS only via NORDUnet (GEANT will
+      not export a fabric-peer route to its non-fabric peer NIKS), ties
+      with Arelion's commodity route on localpref 50, and is selected
+      only when AS path length favours it.
+    """
+    topo = Topology()
+    topo.add_as(AS_GEANT, "GEANT", ASClass.RE_BACKBONE, country="EU")
+    topo.add_as(AS_SURF, "SURF", ASClass.NREN, country="NL")
+    topo.add_as(AS_SURF_ORIGIN, "SURF-origin", ASClass.MEASUREMENT,
+                country="NL")
+    topo.add_as(AS_INTERNET2, "Internet2", ASClass.RE_BACKBONE, country="US")
+    topo.add_as(AS_NORDUNET, "NORDUnet", ASClass.RE_BACKBONE, country="DK")
+    topo.add_as(AS_NIKS, "NIKS", ASClass.NREN, country="RU")
+    topo.add_as(AS_ARELION, "Arelion", ASClass.TIER1, country="SE")
+    topo.add_as(AS_LUMEN, "Lumen", ASClass.TIER1, country="US")
+    topo.add_as(AS_INTERNET2_BLEND, "Meas-commodity", ASClass.MEASUREMENT,
+                country="US")
+    niks_member = 64512
+    topo.add_as(niks_member, "NIKS-member", ASClass.MEMBER, country="RU")
+
+    # R&E fabric.
+    topo.add_peering(AS_GEANT, AS_INTERNET2, fabric=True)
+    topo.add_peering(AS_GEANT, AS_NORDUNET, fabric=True)
+    topo.add_peering(AS_INTERNET2, AS_NORDUNET, fabric=True)
+    # SURF is GEANT's member (customer); the SURF-side measurement origin
+    # is SURF's customer.
+    topo.add_provider(AS_SURF, AS_GEANT)
+    topo.add_provider(AS_SURF_ORIGIN, AS_SURF)
+    # NIKS: peer of GEANT, customer of NORDUnet and Arelion.
+    topo.add_peering(AS_NIKS, AS_GEANT)
+    topo.add_provider(AS_NIKS, AS_NORDUNET)
+    topo.add_provider(AS_NIKS, AS_ARELION)
+    # Commodity fabric: Arelion -(peer)- Lumen; commodity measurement
+    # origin is Lumen's customer.
+    topo.add_peering(AS_ARELION, AS_LUMEN)
+    topo.add_provider(AS_INTERNET2_BLEND, AS_LUMEN)
+    # The member behind NIKS.
+    topo.add_provider(niks_member, AS_NIKS)
+
+    niks = topo.node(AS_NIKS)
+    niks.policy.set_neighbor_localpref(AS_GEANT, 102)
+    niks.policy.set_neighbor_localpref(AS_NORDUNET, 50)
+    niks.policy.set_neighbor_localpref(AS_ARELION, 50)
+
+    topo.originate(niks_member, Prefix.parse("198.51.100.0/24"),
+                   side=MemberSide.PEER_NREN)
+    topo.validate()
+    asns = {
+        "geant": AS_GEANT,
+        "surf": AS_SURF,
+        "surf_origin": AS_SURF_ORIGIN,
+        "internet2": AS_INTERNET2,
+        "nordunet": AS_NORDUNET,
+        "niks": AS_NIKS,
+        "arelion": AS_ARELION,
+        "lumen": AS_LUMEN,
+        "commodity_origin": AS_INTERNET2_BLEND,
+        "member": niks_member,
+    }
+    return topo, asns
+
+
+def build_ixp_scenario(
+    alpha_equal_localpref: bool = True,
+) -> Tuple[Topology, Dict[str, int]]:
+    """Figure 6: inferring peer-vs-provider preference at an IXP.
+
+    The measurement host (AS 64500) announces 192.0.2.0/24 both across
+    an IXP fabric (bilateral peering with members) and via a Tier-1
+    provider (Arelion).  *Alpha* peers with the host at the IXP and buys
+    transit from the Tier-1; whether Alpha's return traffic uses the
+    peer or provider route under prepend changes reveals its relative
+    localpref.  *Beta* also peers with the Tier-1, the ambiguous case
+    discussed in §5.
+    """
+    topo = Topology()
+    host = 64500
+    alpha = 64501
+    beta = 64502
+    topo.add_as(host, "Meas-host", ASClass.MEASUREMENT)
+    topo.add_as(AS_ARELION, "Tier-1", ASClass.TIER1)
+    topo.add_as(alpha, "Alpha", ASClass.MEMBER)
+    topo.add_as(beta, "Beta", ASClass.MEMBER)
+
+    topo.add_provider(host, AS_ARELION)
+    topo.add_peering(host, alpha)    # bilateral peering across the IXP
+    topo.add_peering(host, beta)
+    topo.add_provider(alpha, AS_ARELION)
+    topo.add_peering(beta, AS_ARELION)
+
+    node = topo.node(alpha)
+    if alpha_equal_localpref:
+        node.policy.set_neighbor_localpref(host, 100)
+        node.policy.set_neighbor_localpref(AS_ARELION, 100)
+    else:
+        node.policy.set_neighbor_localpref(host, 200)
+        node.policy.set_neighbor_localpref(AS_ARELION, 100)
+
+    topo.validate()
+    return topo, {
+        "host": host,
+        "tier1": AS_ARELION,
+        "alpha": alpha,
+        "beta": beta,
+    }

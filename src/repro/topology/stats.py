@@ -1,0 +1,141 @@
+"""Topology statistics.
+
+Summaries used by the examples and by EXPERIMENTS.md to document the
+generated population: class counts, link-degree distributions, customer
+cone sizes, and prefix-count distributions — the quantities one would
+report about the real R&E ecosystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .graph import ASClass, Topology
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number-ish summary of an integer distribution."""
+
+    count: int = 0
+    total: int = 0
+    minimum: int = 0
+    maximum: int = 0
+    mean: float = 0.0
+    median: int = 0
+
+    @classmethod
+    def of(cls, values: List[int]) -> "DistributionSummary":
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            total=sum(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            median=ordered[len(ordered) // 2],
+        )
+
+
+@dataclass
+class TopologyStats:
+    """Aggregate statistics for a topology."""
+
+    num_ases: int = 0
+    num_links: int = 0
+    class_counts: Dict[ASClass, int] = field(default_factory=dict)
+    degree: DistributionSummary = field(
+        default_factory=DistributionSummary
+    )
+    member_prefix_counts: DistributionSummary = field(
+        default_factory=DistributionSummary
+    )
+    customer_cone: DistributionSummary = field(
+        default_factory=DistributionSummary
+    )
+    num_prefixes: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "Topology: %d ASes, %d links, %d prefixes"
+            % (self.num_ases, self.num_links, self.num_prefixes),
+            "  classes: "
+            + ", ".join(
+                "%s=%d" % (klass.value, count)
+                for klass, count in sorted(
+                    self.class_counts.items(), key=lambda kv: -kv[1]
+                )
+            ),
+            "  degree: mean %.1f, median %d, max %d"
+            % (self.degree.mean, self.degree.median, self.degree.maximum),
+            "  member prefixes: mean %.1f, median %d, max %d"
+            % (
+                self.member_prefix_counts.mean,
+                self.member_prefix_counts.median,
+                self.member_prefix_counts.maximum,
+            ),
+            "  transit customer cones: mean %.1f, max %d"
+            % (self.customer_cone.mean, self.customer_cone.maximum),
+        ]
+        return "\n".join(lines)
+
+
+def customer_cone_sizes(topology: Topology) -> Dict[int, int]:
+    """Number of ASes in each AS's customer cone (itself excluded),
+    computed over the provider->customer DAG."""
+    memo: Dict[int, frozenset] = {}
+
+    def cone(asn: int) -> frozenset:
+        cached = memo.get(asn)
+        if cached is not None:
+            return cached
+        members = set()
+        for customer in topology.customers(asn):
+            members.add(customer)
+            members |= cone(customer)
+        result = frozenset(members)
+        memo[asn] = result
+        return result
+
+    # Iterative order: customers first (the graph is validated acyclic,
+    # but recursion depth could bite on deep chains — resolve leaves
+    # upward explicitly).
+    remaining = sorted(
+        topology.nodes, key=lambda asn: len(topology.customers(asn))
+    )
+    for asn in remaining:
+        cone(asn)
+    return {asn: len(memo[asn]) for asn in topology.nodes}
+
+
+def compute_stats(topology: Topology) -> TopologyStats:
+    """Compute the aggregate statistics for a topology."""
+    stats = TopologyStats(
+        num_ases=len(topology),
+        num_links=topology.num_links(),
+        num_prefixes=len(topology.prefixes),
+    )
+    degrees: List[int] = []
+    member_prefixes: List[int] = []
+    for node in topology.ases():
+        stats.class_counts[node.klass] = (
+            stats.class_counts.get(node.klass, 0) + 1
+        )
+        degrees.append(len(topology.neighbors(node.asn)))
+        if node.klass is ASClass.MEMBER:
+            member_prefixes.append(len(topology.prefixes_of(node.asn)))
+    stats.degree = DistributionSummary.of(degrees)
+    stats.member_prefix_counts = DistributionSummary.of(member_prefixes)
+    cones = customer_cone_sizes(topology)
+    transit_cones = [
+        size
+        for asn, size in cones.items()
+        if topology.node(asn).klass
+        in (ASClass.TIER1, ASClass.TRANSIT, ASClass.RE_BACKBONE,
+            ASClass.NREN, ASClass.RE_REGIONAL)
+    ]
+    stats.customer_cone = DistributionSummary.of(transit_cones)
+    return stats

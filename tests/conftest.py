@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+The expensive artefacts (ecosystem, experiment runs, full reproduction)
+are session-scoped: tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import REEcosystemConfig, build_ecosystem
+from repro.core.classify import classify_experiment, origin_map
+from repro.core.report import reproduce_paper
+from repro.experiment import run_both_experiments
+
+#: Scale used by the shared fixtures: small enough to keep the suite
+#: fast, large enough for distribution-level assertions.
+TEST_SCALE = 0.1
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def ecosystem():
+    return build_ecosystem(REEcosystemConfig(scale=TEST_SCALE), seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def both_results(ecosystem):
+    return run_both_experiments(ecosystem, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def surf_result(both_results):
+    return both_results[0]
+
+
+@pytest.fixture(scope="session")
+def internet2_result(both_results):
+    return both_results[1]
+
+
+@pytest.fixture(scope="session")
+def surf_inference(ecosystem, surf_result):
+    return classify_experiment(surf_result, origin_map(ecosystem))
+
+
+@pytest.fixture(scope="session")
+def internet2_inference(ecosystem, internet2_result):
+    return classify_experiment(internet2_result, origin_map(ecosystem))
+
+
+@pytest.fixture(scope="session")
+def reproduction(ecosystem):
+    return reproduce_paper(ecosystem=ecosystem, seed=TEST_SEED)

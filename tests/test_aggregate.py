@@ -1,0 +1,105 @@
+"""Tests for Table 1 aggregation."""
+
+import pytest
+
+from repro.core.aggregate import build_table1
+from repro.core.classify import (
+    ExperimentInference,
+    InferenceCategory,
+    PrefixInference,
+)
+from repro.netutil import Prefix
+
+
+def _inference(entries):
+    """entries: list of (prefix_str, origin_asn, category)."""
+    out = ExperimentInference(experiment="test")
+    for text, asn, category in entries:
+        prefix = Prefix.parse(text)
+        out.inferences[prefix] = PrefixInference(
+            prefix=prefix, origin_asn=asn, category=category
+        )
+    return out
+
+
+class TestTable1:
+    def test_counts_and_shares(self):
+        table = build_table1(
+            _inference(
+                [
+                    ("10.0.0.0/24", 1, InferenceCategory.ALWAYS_RE),
+                    ("10.1.0.0/24", 1, InferenceCategory.ALWAYS_RE),
+                    ("10.2.0.0/24", 2, InferenceCategory.ALWAYS_COMMODITY),
+                    ("10.3.0.0/24", 3, InferenceCategory.SWITCH_TO_RE),
+                ]
+            )
+        )
+        assert table.total_prefixes == 4
+        assert table.total_ases == 3
+        row = table.row(InferenceCategory.ALWAYS_RE)
+        assert row.prefixes == 2
+        assert row.prefix_share == pytest.approx(0.5)
+        assert row.ases == 1
+
+    def test_as_in_multiple_categories(self):
+        """The paper's AS columns sum to >100% because one AS can land
+        in several categories."""
+        table = build_table1(
+            _inference(
+                [
+                    ("10.0.0.0/24", 1, InferenceCategory.ALWAYS_RE),
+                    ("10.1.0.0/24", 1, InferenceCategory.MIXED),
+                ]
+            )
+        )
+        assert table.total_ases == 1
+        assert table.row(InferenceCategory.ALWAYS_RE).ases == 1
+        assert table.row(InferenceCategory.MIXED).ases == 1
+        as_share_sum = sum(row.as_share for row in table.rows)
+        assert as_share_sum > 1.0
+
+    def test_loss_excluded_from_totals(self):
+        table = build_table1(
+            _inference(
+                [
+                    ("10.0.0.0/24", 1, InferenceCategory.ALWAYS_RE),
+                    ("10.1.0.0/24", 2, InferenceCategory.EXCLUDED_LOSS),
+                ]
+            )
+        )
+        assert table.total_prefixes == 1
+        assert table.total_ases == 1
+        assert table.excluded_loss_prefixes == 1
+
+    def test_empty_inference(self):
+        table = build_table1(_inference([]))
+        assert table.total_prefixes == 0
+        assert all(row.prefix_share == 0.0 for row in table.rows)
+
+    def test_render_contains_rows(self):
+        table = build_table1(
+            _inference([("10.0.0.0/24", 1, InferenceCategory.ALWAYS_RE)])
+        )
+        text = table.render()
+        assert "Always R&E" in text
+        assert "Total:" in text
+
+    def test_row_unknown_category(self):
+        table = build_table1(_inference([]))
+        with pytest.raises(KeyError):
+            table.row(InferenceCategory.EXCLUDED_LOSS)
+
+    def test_matches_paper_shape_on_simulation(self, internet2_inference):
+        """Distribution-level check against Table 1b's ordering."""
+        table = build_table1(internet2_inference)
+        shares = {
+            row.category: row.prefix_share for row in table.rows
+        }
+        assert shares[InferenceCategory.ALWAYS_RE] > 0.70
+        assert (
+            shares[InferenceCategory.ALWAYS_RE]
+            > shares[InferenceCategory.SWITCH_TO_RE]
+            > shares[InferenceCategory.MIXED]
+        )
+        assert shares[InferenceCategory.ALWAYS_COMMODITY] < 0.15
+        assert shares[InferenceCategory.OSCILLATING] < 0.02

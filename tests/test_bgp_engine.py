@@ -1,0 +1,211 @@
+"""Tests for the event-driven propagation engine."""
+
+import pytest
+
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.policy import Rel
+from repro.errors import EngineError
+from repro.netutil import Prefix
+from repro.rng import SeedTree
+from repro.topology.graph import ASClass, Topology
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+
+def chain_topology():
+    """origin(1) -> transit(2) -> leaf(3), plus a peer(4) of transit."""
+    topo = Topology()
+    for asn in (1, 2, 3, 4):
+        topo.add_as(asn, "as%d" % asn)
+    topo.add_provider(1, 2)   # 2 provides transit to 1
+    topo.add_provider(3, 2)
+    topo.add_peering(2, 4)
+    return topo
+
+
+def engine_for(topo, seed=0):
+    return PropagationEngine(topo, SeedTree(seed))
+
+
+class TestBasicPropagation:
+    def test_customer_route_reaches_everyone(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX, tag="t")
+        engine.run_to_fixpoint()
+        for asn in (2, 3, 4):
+            route = engine.best_route(asn, PFX)
+            assert route is not None
+            assert route.origin_asn == 1
+
+    def test_transit_prepends_own_asn(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.best_route(3, PFX).path.asns == (2, 1)
+
+    def test_origin_holds_local_route(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.best_route(1, PFX).learned_from is None
+
+    def test_peer_route_not_reexported_to_peer(self):
+        """Routes 4 learns from peer 2 must not reach 2's other peers —
+        build a second peer to check."""
+        topo = chain_topology()
+        topo.add_as(5, "as5")
+        topo.add_peering(4, 5)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.best_route(4, PFX) is not None
+        assert engine.best_route(5, PFX) is None
+
+    def test_announcement_prepends_applied(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX, default_prepends=3)
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, PFX).path.asns == (1, 1, 1, 1)
+
+    def test_per_neighbor_prepends(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)
+        topo.add_provider(1, 3)
+        engine = engine_for(topo)
+        engine.announce(1, PFX, prepends={2: 2})
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, PFX).path.asns == (1, 1, 1)
+        assert engine.best_route(3, PFX).path.asns == (1,)
+
+
+class TestReannouncementAndWithdraw:
+    def test_reannounce_changes_paths(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        engine.announce(1, PFX, default_prepends=2)
+        engine.run_to_fixpoint()
+        assert engine.best_route(3, PFX).path.asns == (2, 1, 1, 1)
+
+    def test_withdraw_clears_network(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        engine.withdraw(1, PFX)
+        engine.run_to_fixpoint()
+        for asn in (1, 2, 3, 4):
+            assert engine.best_route(asn, PFX) is None
+
+    def test_two_origins_compete(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 3)
+        topo.add_provider(2, 3)
+        engine = engine_for(topo)
+        engine.announce(1, PFX, tag="a")
+        engine.announce(2, PFX, tag="b", default_prepends=2)
+        engine.run_to_fixpoint()
+        assert engine.best_route(3, PFX).tag == "a"  # shorter path wins
+
+
+class TestLinkEvents:
+    def test_link_down_reroutes(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)  # primary
+        topo.add_provider(1, 3)  # alternate
+        topo.add_peering(2, 3)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        engine.set_link_down(1, 2)
+        engine.run_to_fixpoint()
+        route = engine.best_route(2, PFX)
+        assert route is not None
+        assert route.path.asns == (3, 1)  # now via the alternate
+
+    def test_link_up_restores(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        engine.set_link_down(1, 2)
+        engine.run_to_fixpoint()
+        assert engine.best_route(3, PFX) is None
+        engine.set_link_up(1, 2)
+        engine.run_to_fixpoint()
+        assert engine.best_route(3, PFX) is not None
+
+    def test_link_down_unknown_link(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.set_link_down(1, 3)
+
+
+class TestBookkeeping:
+    def test_update_log_records_changes(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert any(event.asn == 3 for event in engine.update_log)
+
+    def test_session_counts_populated(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.session_message_counts.get((1, 2), 0) >= 1
+
+    def test_clock_moves_forward_only(self):
+        engine = engine_for(chain_topology())
+        engine.advance_to(100.0)
+        with pytest.raises(EngineError):
+            engine.advance_to(50.0)
+
+    def test_determinism_across_runs(self):
+        def run():
+            engine = engine_for(chain_topology(), seed=77)
+            engine.announce(1, PFX)
+            stats = engine.run_to_fixpoint()
+            return (
+                stats.messages_delivered,
+                engine.best_route(3, PFX).path.asns,
+                engine.now,
+            )
+
+        assert run() == run()
+
+    def test_unknown_router_raises(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.router(999)
+
+    def test_no_export_policy_respected(self):
+        topo = chain_topology()
+        topo.node(1).policy.no_export_to.add(2)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, PFX) is None
+
+    def test_tag_scoped_no_export(self):
+        topo = chain_topology()
+        topo.node(1).policy.no_export_tags[2] = {"re"}
+        engine = engine_for(topo)
+        engine.announce(1, PFX, tag="re")
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, PFX) is None
+        engine.announce(1, PFX, tag="commodity")
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, PFX) is not None

@@ -1,0 +1,102 @@
+"""Tests for the route flap damping model."""
+
+import pytest
+
+from repro.bgp.rfd import (
+    HALF_LIFE_SECONDS,
+    MAX_SUPPRESS_SECONDS,
+    PENALTY_PER_FLAP,
+    SUPPRESS_THRESHOLD,
+    RouteFlapDamper,
+    min_safe_spacing,
+)
+from repro.netutil import Prefix
+
+PFX = Prefix.parse("163.253.63.0/24")
+SESSION = 3356
+
+
+class TestDamper:
+    def test_single_flap_not_suppressed(self):
+        damper = RouteFlapDamper()
+        damper.record_flap(PFX, SESSION, 0.0)
+        assert not damper.is_suppressed(PFX, SESSION, 1.0)
+
+    def test_rapid_flaps_suppress(self):
+        damper = RouteFlapDamper()
+        for i in range(3):
+            damper.record_flap(PFX, SESSION, float(i))
+        assert damper.is_suppressed(PFX, SESSION, 3.0)
+
+    def test_penalty_decays_with_half_life(self):
+        damper = RouteFlapDamper()
+        damper.record_flap(PFX, SESSION, 0.0)
+        later = damper.penalty_of(PFX, SESSION, HALF_LIFE_SECONDS)
+        assert later == pytest.approx(PENALTY_PER_FLAP / 2.0, rel=1e-6)
+
+    def test_reuse_after_decay(self):
+        damper = RouteFlapDamper()
+        for i in range(3):
+            damper.record_flap(PFX, SESSION, float(i))
+        assert damper.is_suppressed(PFX, SESSION, 60.0)
+        # After two half-lives the penalty falls below reuse (750).
+        assert not damper.is_suppressed(
+            PFX, SESSION, 2.5 * HALF_LIFE_SECONDS
+        )
+
+    def test_max_suppress_time_cap(self):
+        damper = RouteFlapDamper(half_life=10 * 3600.0)  # barely decays
+        for i in range(4):
+            damper.record_flap(PFX, SESSION, float(i))
+        assert damper.is_suppressed(PFX, SESSION, 100.0)
+        assert not damper.is_suppressed(
+            PFX, SESSION, MAX_SUPPRESS_SECONDS + 101.0
+        )
+
+    def test_sessions_independent(self):
+        damper = RouteFlapDamper()
+        for i in range(3):
+            damper.record_flap(PFX, SESSION, float(i))
+        assert not damper.is_suppressed(PFX, SESSION + 1, 3.0)
+
+    def test_unknown_pair_penalty_zero(self):
+        assert RouteFlapDamper().penalty_of(PFX, SESSION, 0.0) == 0.0
+
+
+class TestSafeSpacing:
+    def test_hourly_spacing_is_safe_for_the_experiment(self):
+        """The paper's one-hour spacing: with <=1 flap per change, the
+        steady-state penalty never reaches the suppress threshold."""
+        assert min_safe_spacing(flaps_per_change=1) < 3600.0
+
+    def test_heavier_flapping_needs_more_spacing(self):
+        assert min_safe_spacing(1) < min_safe_spacing(2) <= MAX_SUPPRESS_SECONDS
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            min_safe_spacing(0)
+
+    def test_experiment_schedule_never_suppressed(self):
+        """Simulate the nine hourly changes: no session suppression."""
+        damper = RouteFlapDamper()
+        when = 0.0
+        for _ in range(9):
+            damper.record_flap(PFX, SESSION, when)
+            when += 3600.0
+            assert not damper.is_suppressed(PFX, SESSION, when)
+
+    def test_fifteen_minute_spacing_would_suppress(self):
+        """The ablation the schedule protects against: tight spacing
+        with withdraw+announce pairs (two flaps) per change damps the
+        prefix."""
+        damper = RouteFlapDamper()
+        when = 0.0
+        suppressed = False
+        for _ in range(9):
+            damper.record_flap(PFX, SESSION, when)
+            damper.record_flap(PFX, SESSION, when + 1.0)
+            when += 15 * 60.0
+            suppressed = suppressed or damper.is_suppressed(
+                PFX, SESSION, when
+            )
+        assert suppressed

@@ -1,0 +1,159 @@
+"""Tests for per-AS router state."""
+
+import pytest
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.policy import Rel, RoutingPolicy
+from repro.bgp.router import LOCAL_ROUTE_LOCALPREF, Router
+from repro.netutil import Prefix
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+
+def make_router(asn=64500, **policy_kwargs):
+    return Router(asn, RoutingPolicy(**policy_kwargs))
+
+
+class TestOrigination:
+    def test_originate_installs_local_best(self):
+        router = make_router()
+        route = router.originate(PFX, tag="re", now=5.0)
+        assert router.best_route(PFX) == route
+        assert route.localpref == LOCAL_ROUTE_LOCALPREF
+        assert route.learned_from is None
+
+    def test_local_route_beats_learned(self):
+        router = make_router()
+        router.receive(1, Rel.CUSTOMER, PFX, ASPath((1, 2)), 0.0)
+        router.originate(PFX)
+        assert router.best_route(PFX).learned_from is None
+
+    def test_withdraw_local(self):
+        router = make_router()
+        router.originate(PFX)
+        change = router.withdraw_local(PFX)
+        assert change.changed
+        assert router.best_route(PFX) is None
+
+
+class TestReceive:
+    def test_first_route_becomes_best(self):
+        router = make_router()
+        change = router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 1.0)
+        assert change.changed
+        assert router.best_route(PFX).learned_from == 1
+
+    def test_import_assigns_localpref(self):
+        router = make_router()
+        router.policy.set_neighbor_localpref(1, 150)
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        assert router.best_route(PFX).localpref == 150
+
+    def test_loop_rejected_as_withdraw(self):
+        router = make_router(64500)
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        change = router.receive(
+            1, Rel.PROVIDER, PFX, ASPath((1, 64500, 9)), 1.0
+        )
+        assert change.changed
+        assert router.best_route(PFX) is None
+
+    def test_loop_with_no_prior_state_is_noop(self):
+        router = make_router(64500)
+        change = router.receive(
+            1, Rel.PROVIDER, PFX, ASPath((1, 64500, 9)), 1.0
+        )
+        assert not change.changed
+
+    def test_withdraw_removes_route(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        change = router.receive(1, Rel.PROVIDER, PFX, None, 1.0)
+        assert change.changed
+        assert router.best_route(PFX) is None
+
+    def test_withdraw_of_unknown_is_noop(self):
+        router = make_router()
+        change = router.receive(1, Rel.PROVIDER, PFX, None, 1.0)
+        assert not change.changed
+
+    def test_duplicate_announcement_keeps_age(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        change = router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 99.0)
+        assert not change.changed
+        assert router.best_route(PFX).installed_at == 0.0
+
+    def test_attribute_change_resets_age(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 1, 9)), 50.0)
+        assert router.best_route(PFX).installed_at == 50.0
+
+    def test_better_route_displaces(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 8, 9)), 0.0)
+        change = router.receive(2, Rel.PROVIDER, PFX, ASPath((2, 9)), 1.0)
+        assert change.changed
+        assert router.best_route(PFX).learned_from == 2
+
+    def test_worse_route_does_not_displace(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        change = router.receive(
+            2, Rel.PROVIDER, PFX, ASPath((2, 7, 8, 9)), 1.0
+        )
+        assert not change.changed
+        assert router.best_route(PFX).learned_from == 1
+
+    def test_age_equivalence_no_spurious_export(self):
+        """A best-route replacement that only differs in age must not
+        report a change (would cause update storms)."""
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        change = router.receive(2, Rel.PROVIDER, PFX, ASPath((2, 8, 9)), 1.0)
+        assert not change.changed  # alternative stored, best unchanged
+
+
+class TestDropNeighbor:
+    def test_drop_neighbor_withdraws_all(self):
+        router = make_router()
+        other = Prefix.parse("198.51.100.0/24")
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        router.receive(1, Rel.PROVIDER, other, ASPath((1, 9)), 0.0)
+        router.receive(2, Rel.PROVIDER, PFX, ASPath((2, 7, 9)), 0.0)
+        changes = router.drop_neighbor(1)
+        assert {prefix for prefix, _ in changes} == {PFX, other}
+        assert router.best_route(PFX).learned_from == 2
+        assert router.best_route(other) is None
+
+    def test_drop_unknown_neighbor(self):
+        assert make_router().drop_neighbor(42) == []
+
+
+class TestQueries:
+    def test_candidates_sorted(self):
+        router = make_router()
+        router.receive(5, Rel.PROVIDER, PFX, ASPath((5, 9)), 0.0)
+        router.receive(2, Rel.PROVIDER, PFX, ASPath((2, 9)), 0.0)
+        assert [r.learned_from for r in router.candidate_routes(PFX)] == [2, 5]
+
+    def test_routes_from(self):
+        router = make_router()
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        assert [r.prefix for r in router.routes_from(1)] == [PFX]
+
+    def test_best_from_neighbors_vrf_view(self):
+        """The Table 3 VRF-split export: best among a subset of
+        sessions only."""
+        router = make_router()
+        router.policy.set_neighbor_localpref(1, 150)  # preferred (R&E)
+        router.receive(1, Rel.PROVIDER, PFX, ASPath((1, 9)), 0.0)
+        router.receive(2, Rel.PROVIDER, PFX, ASPath((2, 9)), 0.0)
+        assert router.best_route(PFX).learned_from == 1
+        vrf_best = router.best_from_neighbors(PFX, [2])
+        assert vrf_best.learned_from == 2
+
+    def test_best_from_neighbors_empty(self):
+        router = make_router()
+        assert router.best_from_neighbors(PFX, [1, 2]) is None

@@ -1,0 +1,115 @@
+"""Tests for the Table 2 cross-experiment comparison."""
+
+import pytest
+
+from repro.core.classify import (
+    ExperimentInference,
+    InferenceCategory,
+    PrefixInference,
+)
+from repro.core.compare import build_table2
+from repro.netutil import Prefix
+
+RE = InferenceCategory.ALWAYS_RE
+COMM = InferenceCategory.ALWAYS_COMMODITY
+SWITCH = InferenceCategory.SWITCH_TO_RE
+LOSS = InferenceCategory.EXCLUDED_LOSS
+MIXED = InferenceCategory.MIXED
+OSC = InferenceCategory.OSCILLATING
+SW_COMM = InferenceCategory.SWITCH_TO_COMMODITY
+
+
+def _pair(spec):
+    """spec: list of (prefix, asn, surf_cat, i2_cat)."""
+    surf = ExperimentInference(experiment="surf")
+    internet2 = ExperimentInference(experiment="internet2")
+    for text, asn, a, b in spec:
+        prefix = Prefix.parse(text)
+        surf.inferences[prefix] = PrefixInference(prefix, asn, a)
+        internet2.inferences[prefix] = PrefixInference(prefix, asn, b)
+    return surf, internet2
+
+
+class TestTable2:
+    def test_same_inference_diagonal(self):
+        surf, internet2 = _pair([("10.0.0.0/24", 1, RE, RE)])
+        table = build_table2(surf, internet2)
+        assert table.same == 1
+        assert table.different == 0
+        assert table.agreement == 1.0
+
+    def test_different_cells(self):
+        surf, internet2 = _pair(
+            [
+                ("10.0.0.0/24", 1, RE, SWITCH),
+                ("10.1.0.0/24", 2, SWITCH, RE),
+            ]
+        )
+        table = build_table2(surf, internet2)
+        assert table.cell(RE, SWITCH) == 1
+        assert table.cell(SWITCH, RE) == 1
+        assert table.different == 2
+        assert table.different_ases == 2
+
+    @pytest.mark.parametrize(
+        "bad,field",
+        [
+            (LOSS, "packet_loss"),
+            (MIXED, "mixed"),
+            (OSC, "oscillating"),
+            (SW_COMM, "switch_to_commodity"),
+        ],
+    )
+    def test_incomparable_buckets(self, bad, field):
+        surf, internet2 = _pair([("10.0.0.0/24", 1, bad, RE)])
+        table = build_table2(surf, internet2)
+        assert getattr(table, field) == 1
+        assert table.comparable == 0
+        assert table.incomparable == 1
+
+    def test_loss_has_precedence_over_mixed(self):
+        surf, internet2 = _pair([("10.0.0.0/24", 1, LOSS, MIXED)])
+        table = build_table2(surf, internet2)
+        assert table.packet_loss == 1
+        assert table.mixed == 0
+
+    def test_only_shared_prefixes_compared(self):
+        surf = ExperimentInference(experiment="surf")
+        internet2 = ExperimentInference(experiment="internet2")
+        prefix = Prefix.parse("10.0.0.0/24")
+        surf.inferences[prefix] = PrefixInference(prefix, 1, RE)
+        table = build_table2(surf, internet2)
+        assert table.comparable == 0
+
+    def test_render(self):
+        surf, internet2 = _pair([("10.0.0.0/24", 1, RE, RE)])
+        text = build_table2(surf, internet2).render()
+        assert "Comparable prefixes: 1" in text
+
+    def test_simulation_agreement_high(
+        self, ecosystem, surf_inference, internet2_inference
+    ):
+        """The paper found 96.9% agreement over comparable prefixes."""
+        table = build_table2(surf_inference, internet2_inference, ecosystem)
+        assert table.agreement > 0.93
+
+    def test_niks_attribution(self, ecosystem, surf_inference,
+                              internet2_inference):
+        """NIKS cone prefixes land in the [always R&E, switch] cell."""
+        table = build_table2(surf_inference, internet2_inference, ecosystem)
+        assert table.niks_attributed > 0
+        assert table.niks_cell == (RE, SWITCH)
+        assert table.niks_ases <= table.different_ases
+
+    def test_all_six_offdiagonal_cells_possible(
+        self, ecosystem, surf_inference, internet2_inference
+    ):
+        """The asymmetric-transit cells populate the paper's six
+        off-diagonal rows (some may be empty at small scale; require at
+        least three distinct cells)."""
+        table = build_table2(surf_inference, internet2_inference, ecosystem)
+        off_diagonal = {
+            key for key, count in table.cells.items()
+            if key[0] is not key[1] and count > 0
+        }
+        assert len(off_diagonal) >= 3

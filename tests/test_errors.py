@@ -1,0 +1,43 @@
+"""The exception hierarchy: one catchable base class."""
+
+import pytest
+
+from repro import errors
+from repro.bgp.attributes import ASPath, Route
+from repro.netutil import Prefix
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.AddressError,
+            errors.TopologyError,
+            errors.PolicyError,
+            errors.EngineError,
+            errors.ExperimentError,
+            errors.AnalysisError,
+            errors.DataIOError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_address_error_is_value_error(self):
+        """Callers using stdlib idioms still catch parse failures."""
+        assert issubclass(errors.AddressError, ValueError)
+
+    def test_api_raises_catchable_base(self):
+        with pytest.raises(errors.ReproError):
+            Prefix.parse("not-a-prefix")
+
+    def test_with_localpref_validates(self):
+        route = Route(
+            prefix=Prefix.parse("10.0.0.0/24"),
+            path=ASPath((1, 2)),
+            learned_from=1,
+            localpref=100,
+        )
+        assert route.with_localpref(50).localpref == 50
+        with pytest.raises(errors.PolicyError):
+            route.with_localpref(-1)

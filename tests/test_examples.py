@@ -1,0 +1,50 @@
+"""The examples are deliverables: each must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "0.04", "9")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1" in proc.stdout
+        assert "Headline" in proc.stdout
+
+    def test_niks_case_study(self):
+        proc = run_example("niks_case_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "always re" in proc.stdout
+        assert "switch to R&E" in proc.stdout
+
+    def test_peer_provider_ixp(self):
+        proc = run_example("peer_provider_ixp.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "equal localpref" in proc.stdout
+        assert "always peer" in proc.stdout
+
+    def test_churn_and_export(self, tmp_path):
+        proc = run_example("churn_and_export.py", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "commodity prepends phase" in proc.stdout
+        assert (tmp_path / "internet2_probes.jsonl").exists()
+        assert (tmp_path / "internet2_updates.jsonl").exists()
+
+    def test_preference_survey(self):
+        proc = run_example("preference_survey.py", "0.04", "9")
+        assert proc.returncode == 0, proc.stderr
+        assert "Agreement" in proc.stdout

@@ -1,0 +1,87 @@
+"""Tests for plain-text figure rendering."""
+
+import pytest
+
+from repro.collectors import build_churn_report
+from repro.core.figures import (
+    render_churn_figure,
+    render_region_map,
+    render_switch_cdf_figure,
+)
+from repro.core.report import experiment_collector
+from repro.core.ripe import build_figure5
+from repro.core.switch_cdf import build_figure8
+
+
+@pytest.fixture(scope="module")
+def churn_report(ecosystem, internet2_result):
+    collector = experiment_collector(ecosystem, internet2_result)
+    return build_churn_report(internet2_result, collector)
+
+
+class TestChurnFigure:
+    def test_renders_with_windows(self, churn_report, internet2_result):
+        text = render_churn_figure(
+            churn_report, internet2_result.round_times
+        )
+        assert "#" in text
+        assert "|" in text  # probing windows marked
+        assert "phase" in text
+
+    def test_empty_series(self, churn_report):
+        from repro.collectors.churn import ChurnPhase, ChurnReport
+
+        empty = ChurnReport(
+            re_phase=ChurnPhase("a", 0, 1),
+            commodity_phase=ChurnPhase("b", 1, 2),
+        )
+        assert "no update activity" in render_churn_figure(empty)
+
+    def test_width_respected(self, churn_report):
+        text = render_churn_figure(churn_report, width=40)
+        for line in text.splitlines()[:-2]:
+            assert len(line) <= 41
+
+    def test_curve_monotone(self, churn_report):
+        """Filled columns never decrease left to right in any row's
+        cumulative sense: the top row has no '#' before the bottom."""
+        lines = render_churn_figure(churn_report).splitlines()
+        plot = [line for line in lines if "#" in line or set(line) <= {" ", "|", ":"}]
+        bottom = plot[-2] if len(plot) >= 2 else plot[-1]
+        top = plot[0]
+        first_top = top.find("#")
+        first_bottom = bottom.find("#")
+        if first_top != -1 and first_bottom != -1:
+            assert first_bottom <= first_top
+
+
+class TestSwitchCDFFigure:
+    def test_renders(self, ecosystem, surf_inference, internet2_inference):
+        figure = build_figure8(
+            ecosystem, surf_inference, internet2_inference, "surf"
+        )
+        text = render_switch_cdf_figure(figure)
+        assert "Peer-NREN" in text
+        assert "0-0" in text
+        assert "100%" in text or "100 %" in text or " 100" in text
+
+
+class TestRegionMap:
+    @pytest.fixture(scope="class")
+    def figure5(self, ecosystem):
+        return build_figure5(ecosystem)
+
+    def test_country_map(self, figure5):
+        text = render_region_map(figure5)
+        assert "countries" in text
+        assert "%" in text
+
+    def test_state_map(self, figure5):
+        text = render_region_map(figure5, us_states=True)
+        assert "U.S. states" in text
+
+    def test_empty(self):
+        from repro.core.ripe import Figure5
+
+        empty = Figure5(observer_asn=1)
+        assert "no regions" in render_region_map(empty)

@@ -1,0 +1,90 @@
+"""Tests for the geolocation substrate."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.geo import GeoDatabase, GeoRecord
+from repro.geo.regions import (
+    EUROPE_PROFILES,
+    US_STATE_PROFILES,
+    country_profile_map,
+    state_profile_map,
+)
+from repro.netutil import Prefix, parse_address
+
+
+class TestGeoDatabase:
+    def _db(self):
+        return GeoDatabase(
+            [
+                GeoRecord(Prefix.parse("10.0.0.0/8"), "US", "CA"),
+                GeoRecord(Prefix.parse("10.1.0.0/16"), "US", "NY"),
+                GeoRecord(Prefix.parse("20.0.0.0/8"), "DE"),
+            ]
+        )
+
+    def test_exact_prefix(self):
+        db = self._db()
+        record = db.locate_prefix(Prefix.parse("10.1.0.0/16"))
+        assert record.us_state == "NY"
+
+    def test_covering_fallback(self):
+        db = self._db()
+        record = db.locate_prefix(Prefix.parse("10.2.0.0/16"))
+        assert record.us_state == "CA"
+
+    def test_unknown_prefix(self):
+        assert self._db().locate_prefix(Prefix.parse("30.0.0.0/8")) is None
+
+    def test_locate_address_longest_match(self):
+        db = self._db()
+        assert db.locate_address(parse_address("10.1.2.3")).us_state == "NY"
+        assert db.locate_address(parse_address("10.9.2.3")).us_state == "CA"
+        assert db.locate_address(parse_address("99.0.0.1")) is None
+
+    def test_duplicate_rejected(self):
+        db = self._db()
+        with pytest.raises(AnalysisError):
+            db.add(GeoRecord(Prefix.parse("20.0.0.0/8"), "FR"))
+
+    def test_region_listings(self):
+        db = self._db()
+        assert db.countries() == ["DE", "US"]
+        assert db.us_states() == ["CA", "NY"]
+
+    def test_from_topology(self, ecosystem):
+        db = GeoDatabase.from_topology(ecosystem.topology)
+        assert len(db) > 0
+        plan = ecosystem.studied_prefixes()[0]
+        record = db.locate_prefix(plan.prefix)
+        assert record is not None
+
+
+class TestProfiles:
+    def test_paper_extremes_present(self):
+        countries = country_profile_map()
+        for code in ("NO", "SE", "FR", "ES", "DE", "UA", "BY"):
+            assert code in countries
+
+    def test_high_re_countries_prepend(self):
+        countries = country_profile_map()
+        for code in ("NO", "SE", "FR", "ES"):
+            assert countries[code].nren_offers_commodity
+            assert countries[code].nren_prepends_commodity
+
+    def test_low_re_countries_share_provider(self):
+        countries = country_profile_map()
+        for code in ("DE", "UA", "BY", "BR", "TH"):
+            assert countries[code].nren_shares_ripe_provider
+
+    def test_ny_and_ca_mechanisms(self):
+        states = state_profile_map()
+        assert states["NY"].member_prepend_bias > 0.8
+        assert not states["NY"].regional_offers_commodity
+        assert states["CA"].regional_offers_commodity
+        assert states["CA"].regional_prepends_commodity
+        assert states["CA"].member_extra_commodity > states["NY"].member_extra_commodity
+
+    def test_weights_positive(self):
+        for profile in EUROPE_PROFILES + US_STATE_PROFILES:
+            assert profile.member_weight > 0

@@ -1,0 +1,230 @@
+"""Unit and property tests for repro.netutil."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.netutil import (
+    Prefix,
+    exclude_covered,
+    find_covering,
+    format_address,
+    parse_address,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert parse_address("192.0.2.1") == 0xC0000201
+
+    def test_parse_zero(self):
+        assert parse_address("0.0.0.0") == 0
+
+    def test_parse_max(self):
+        assert parse_address("255.255.255.255") == (1 << 32) - 1
+
+    def test_format_simple(self):
+        assert format_address(0xC0000201) == "192.0.2.1"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3",
+         "-1.0.0.0", "1.2.3.04x"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_address(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 32, 1 << 40])
+    def test_format_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            format_address(bad)
+
+    @given(addresses)
+    def test_roundtrip(self, value):
+        assert parse_address(format_address(value)) == value
+
+
+class TestPrefix:
+    def test_parse_cidr(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.network == 10 << 24
+        assert prefix.length == 8
+
+    def test_str_roundtrip(self):
+        assert str(Prefix.parse("192.0.2.0/24")) == "192.0.2.0/24"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix(parse_address("192.0.2.1"), 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix(0, 33)
+
+    @pytest.mark.parametrize("bad", ["192.0.2.0", "192.0.2.0/ab", "/24"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            Prefix.parse(bad)
+
+    def test_num_addresses(self):
+        assert Prefix.parse("192.0.2.0/24").num_addresses == 256
+        assert Prefix.parse("0.0.0.0/0").num_addresses == 1 << 32
+
+    def test_first_last(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert format_address(prefix.first_address) == "192.0.2.0"
+        assert format_address(prefix.last_address) == "192.0.2.255"
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(parse_address("192.0.2.77"))
+        assert not prefix.contains_address(parse_address("192.0.3.1"))
+
+    def test_covers(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.1.0.0/16")
+        assert parent.covers(child)
+        assert parent.covers(parent)
+        assert not child.covers(parent)
+
+    def test_properly_covers_excludes_self(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert not prefix.properly_covers(prefix)
+        assert prefix.properly_covers(Prefix.parse("10.0.0.0/9"))
+
+    def test_address_at(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert format_address(prefix.address_at(5)) == "192.0.2.5"
+
+    def test_address_at_out_of_range(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.0/24").address_at(256)
+
+    def test_subprefixes(self):
+        subs = list(Prefix.parse("192.0.2.0/24").subprefixes(26))
+        assert len(subs) == 4
+        assert str(subs[1]) == "192.0.2.64/26"
+
+    def test_subprefixes_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("192.0.2.0/24").subprefixes(20))
+
+    def test_ordering_and_hash(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a < b < c
+        assert len({a, b, c, Prefix.parse("10.0.0.0/8")}) == 3
+
+    @given(addresses, lengths)
+    def test_network_always_inside(self, address, length):
+        mask = ((1 << 32) - 1) if length == 0 else None
+        network = address & (
+            (((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1)
+            if length else 0
+        )
+        prefix = Prefix(network, length)
+        assert prefix.contains_address(prefix.first_address)
+        assert prefix.contains_address(prefix.last_address)
+
+    @given(addresses, st.integers(min_value=1, max_value=31))
+    def test_covering_is_transitive_with_parent(self, address, length):
+        network = address & ((((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1))
+        prefix = Prefix(network, length)
+        parent_len = length - 1
+        parent_net = network & (
+            (((1 << 32) - 1) << (32 - parent_len)) & ((1 << 32) - 1)
+            if parent_len else 0
+        )
+        parent = Prefix(parent_net, parent_len)
+        assert parent.covers(prefix)
+
+
+class TestExcludeCovered:
+    def test_empty(self):
+        kept, excluded = exclude_covered([])
+        assert kept == [] and excluded == []
+
+    def test_no_coverage(self):
+        prefixes = [Prefix.parse("10.0.0.0/16"), Prefix.parse("10.1.0.0/16")]
+        kept, excluded = exclude_covered(prefixes)
+        assert sorted(kept) == sorted(prefixes)
+        assert excluded == []
+
+    def test_simple_coverage(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.2.0.0/16")
+        kept, excluded = exclude_covered([child, parent])
+        assert kept == [parent]
+        assert excluded == [child]
+
+    def test_duplicate_counts_as_covered(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        kept, excluded = exclude_covered([prefix, prefix])
+        assert kept == [prefix]
+        assert excluded == [prefix]
+
+    def test_chain_coverage(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("10.0.0.0/24")
+        kept, excluded = exclude_covered([c, b, a])
+        assert kept == [a]
+        assert sorted(excluded) == sorted([b, c])
+
+    def test_adjacent_not_covered(self):
+        a = Prefix.parse("10.0.0.0/9")
+        b = Prefix.parse("10.128.0.0/9")
+        kept, excluded = exclude_covered([a, b])
+        assert sorted(kept) == sorted([a, b])
+        assert excluded == []
+
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=8, max_value=28)),
+            max_size=30,
+        )
+    )
+    def test_partition_property(self, raw):
+        prefixes = []
+        for address, length in raw:
+            network = address & (
+                (((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1)
+            )
+            prefixes.append(Prefix(network, length))
+        kept, excluded = exclude_covered(prefixes)
+        # Every input lands in exactly one bucket (as multisets).
+        assert len(kept) + len(excluded) == len(set(prefixes)) + (
+            len(prefixes) - len(set(prefixes))
+        )
+        # No kept prefix is properly covered by another kept prefix.
+        for prefix in kept:
+            for other in kept:
+                if other is not prefix:
+                    assert not other.properly_covers(prefix)
+        # Every excluded prefix is covered by some kept prefix (or is a
+        # duplicate of one).
+        for prefix in excluded:
+            assert any(
+                other.covers(prefix) for other in kept
+            )
+
+
+class TestFindCovering:
+    def test_none(self):
+        assert find_covering([], 42) is None
+
+    def test_most_specific_wins(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/24")
+        address = parse_address("10.0.0.7")
+        assert find_covering([a, b], address) == b
+        assert find_covering([b, a], address) == b
+
+    def test_outside(self):
+        a = Prefix.parse("10.0.0.0/8")
+        assert find_covering([a], parse_address("11.0.0.1")) is None

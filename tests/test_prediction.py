@@ -1,0 +1,62 @@
+"""Tests for the routing-model prediction analysis."""
+
+import pytest
+
+from repro.core.prediction import (
+    MODELS,
+    build_prediction_report,
+)
+from repro.errors import AnalysisError
+from repro.experiment import ExperimentSchedule
+
+
+class TestPredictionReport:
+    @pytest.fixture(scope="class")
+    def report(self, ecosystem, internet2_inference, internet2_result):
+        return build_prediction_report(
+            ecosystem, internet2_inference, internet2_result
+        )
+
+    def test_all_models_scored(self, report):
+        assert set(report.scores) == set(MODELS)
+        for score in report.scores.values():
+            assert score.total > 0
+            assert 0 <= score.correct <= score.total
+
+    def test_inferred_beats_blind_models(self, report):
+        inferred = report.score("inferred").accuracy
+        assert inferred > report.score("shortest-path").accuracy
+        assert inferred > report.score("prepend-signal").accuracy
+
+    def test_blind_models_meaningfully_wrong(self, report):
+        """The paper's motivation: preference-blind models mispredict a
+        visible share of edge egress decisions."""
+        assert report.score("shortest-path").accuracy < 0.97
+
+    def test_inferred_nearly_perfect(self, report):
+        """The inference is derived from the same sweep, so it is the
+        upper bound — misses can only come from prefixes whose 0-0
+        behaviour was perturbed (e.g. outages)."""
+        assert report.score("inferred").accuracy > 0.97
+
+    def test_details_align_with_scores(self, report):
+        recount = {model: 0 for model in MODELS}
+        for actual, predictions in report.details.values():
+            for model in MODELS:
+                if predictions[model] == actual:
+                    recount[model] += 1
+        for model in MODELS:
+            assert recount[model] == report.score(model).correct
+
+    def test_render(self, report):
+        text = report.render()
+        assert "shortest-path" in text
+        assert "inferred" in text
+
+    def test_requires_neutral_config(self, ecosystem, internet2_inference):
+        class FakeResult:
+            schedule = ExperimentSchedule(configs=("4-0", "3-0"))
+        with pytest.raises(AnalysisError):
+            build_prediction_report(
+                ecosystem, internet2_inference, FakeResult()
+            )

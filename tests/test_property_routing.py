@@ -1,0 +1,172 @@
+"""Property-based cross-validation of the two propagation engines.
+
+Hypothesis generates random valley-free topologies with random
+localpref policies and prepend configurations; the event-driven engine
+and the synchronous fastpath must converge to identical routes when
+route-age tie-breaking is disabled, and every converged state must
+satisfy the core BGP invariants (loop-free paths, export-rule
+compliance, localpref maximality among candidates).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import Announcement
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.fastpath import propagate_fastpath
+from repro.bgp.policy import Rel, may_export
+from repro.netutil import Prefix
+from repro.rng import SeedTree
+from repro.topology.graph import Topology
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+
+@st.composite
+def random_topology(draw):
+    """A random small topology with a strict provider hierarchy (tiers
+    prevent customer-provider cycles) plus random peering."""
+    n = draw(st.integers(min_value=3, max_value=14))
+    tiers = [draw(st.integers(min_value=0, max_value=3)) for _ in range(n)]
+    topo = Topology()
+    for asn in range(1, n + 1):
+        topo.add_as(asn, "as%d" % asn)
+        topo.node(asn).policy.age_tiebreak = False
+    # Providers: only toward strictly higher tiers.
+    for asn in range(1, n + 1):
+        uppers = [
+            other
+            for other in range(1, n + 1)
+            if tiers[other - 1] > tiers[asn - 1]
+        ]
+        if uppers:
+            count = draw(st.integers(min_value=0, max_value=min(2, len(uppers))))
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(uppers), min_size=count,
+                    max_size=count, unique=True,
+                )
+            )
+            for provider in chosen:
+                topo.add_provider(asn, provider)
+    # Peering within the same tier.
+    for asn in range(1, n + 1):
+        same = [
+            other
+            for other in range(asn + 1, n + 1)
+            if tiers[other - 1] == tiers[asn - 1]
+        ]
+        for other in same:
+            if draw(st.booleans()) and not topo.has_link(asn, other):
+                topo.add_peering(asn, other)
+    # Random localpref tweaks on peer/provider sessions only: customer
+    # routes stay most-preferred, the Gao-Rexford stability condition.
+    # (Violating it can create dispute wheels with no stable solution —
+    # the engine then correctly refuses to converge; see
+    # test_dispute_wheel_detected.)
+    for asn in range(1, n + 1):
+        for neighbor, rel in list(topo.neighbors(asn).items()):
+            if rel is not Rel.CUSTOMER and draw(st.booleans()):
+                topo.node(asn).policy.set_neighbor_localpref(
+                    neighbor, draw(st.sampled_from([50, 100, 150, 200]))
+                )
+    origin = draw(st.integers(min_value=1, max_value=n))
+    prepends = draw(st.integers(min_value=0, max_value=3))
+    return topo, origin, prepends
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_topology())
+def test_engine_and_fastpath_agree(case):
+    topo, origin, prepends = case
+    topo.validate()
+    announcement = Announcement(PFX, origin, default_prepends=prepends,
+                                tag="x")
+    fast = propagate_fastpath(topo, [announcement])
+    engine = PropagationEngine(topo, SeedTree(1))
+    engine.announce(origin, PFX, default_prepends=prepends, tag="x")
+    engine.run_to_fixpoint()
+    for asn in topo.nodes:
+        a = engine.best_route(asn, PFX)
+        b = fast.route_at(asn)
+        key_a = a.path.asns if a else None
+        key_b = b.path.asns if b else None
+        assert key_a == key_b, "AS %d: %r != %r" % (asn, key_a, key_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_topology())
+def test_converged_state_invariants(case):
+    topo, origin, prepends = case
+    announcement = Announcement(PFX, origin, default_prepends=prepends)
+    state = propagate_fastpath(topo, [announcement])
+    for asn, route in state.best.items():
+        # 1. No loops.
+        if route.learned_from is not None:
+            assert not route.path.contains(asn)
+        assert route.path.origin == origin
+        # 2. The selected route maximises localpref among candidates.
+        candidates = state.candidates_at(asn)
+        if candidates and route.learned_from is not None:
+            assert route.localpref == max(c.localpref for c in candidates)
+        # 3. Export compliance: the path's consecutive hops respect
+        # valley-free export at the AS that re-exported the route.
+        hops = route.path.unique_ases
+        for importer_index in range(len(hops) - 2):
+            exporter = hops[importer_index + 1]
+            receiver = hops[importer_index]
+            learned_from = hops[importer_index + 2]
+            learned_rel = topo.rel(exporter, learned_from)
+            to_rel = topo.rel(exporter, receiver)
+            assert may_export(
+                learned_rel,
+                to_rel,
+                learned_fabric=topo.is_fabric(exporter, learned_from),
+                to_fabric=topo.is_fabric(exporter, receiver),
+            )
+
+
+def test_dispute_wheel_detected():
+    """The classic BAD GADGET: three peers, each preferring the route
+    through its clockwise neighbor over the direct route.  No stable
+    solution exists (Griffin et al.); the engine must detect the
+    livelock instead of spinning forever."""
+    topo = Topology()
+    origin = 10
+    topo.add_as(origin, "origin")
+    for asn in (1, 2, 3):
+        topo.add_as(asn, "wheel%d" % asn)
+        topo.add_provider(origin, asn)
+    topo.add_peering(1, 2)
+    topo.add_peering(2, 3)
+    topo.add_peering(3, 1)
+    # Peer routes normally never transit between peers; force the wheel
+    # with fabric links (peer->peer re-export) and perverse localprefs.
+    for a, b in ((1, 2), (2, 3), (3, 1)):
+        topo._fabric.add(frozenset((a, b)))  # test-only surgery
+        topo.node(a).policy.set_neighbor_localpref(b, 400)
+
+    engine = PropagationEngine(topo, SeedTree(0), message_limit=50_000)
+    engine.announce(origin, PFX)
+    from repro.errors import EngineError
+
+    with pytest.raises(EngineError):
+        engine.run_to_fixpoint()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_topology(), st.integers(min_value=0, max_value=4))
+def test_prepending_never_changes_reachability(case, extra):
+    """Prepending lengthens paths but cannot create or destroy
+    reachability (no path-length-based filtering exists)."""
+    topo, origin, _ = case
+    base = propagate_fastpath(topo, [Announcement(PFX, origin)])
+    prepended = propagate_fastpath(
+        topo, [Announcement(PFX, origin, default_prepends=extra)]
+    )
+    assert set(base.best) == set(prepended.best)
+    for asn in base.best:
+        assert (
+            prepended.best[asn].path.length
+            >= base.best[asn].path.length
+        )

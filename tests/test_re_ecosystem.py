@@ -1,0 +1,246 @@
+"""Tests for the R&E ecosystem generator: structure, ground truth
+consistency, determinism, and calibration-level properties."""
+
+import pytest
+
+from repro import REEcosystemConfig, build_ecosystem
+from repro.bgp.policy import Rel
+from repro.topology.asns import (
+    AS_ARELION,
+    AS_GEANT,
+    AS_INTERNET2,
+    AS_INTERNET2_BLEND,
+    AS_LUMEN,
+    AS_NIKS,
+    AS_NORDUNET,
+    AS_RIPE,
+    AS_SURF,
+    AS_SURF_ORIGIN,
+)
+from repro.topology.graph import ASClass, MemberSide
+from repro.topology.re_config import EgressClass, PrefixKind, PrependClass
+
+
+class TestStructure:
+    def test_key_ases_present(self, ecosystem):
+        topo = ecosystem.topology
+        for asn in (AS_INTERNET2, AS_GEANT, AS_NORDUNET, AS_SURF,
+                    AS_SURF_ORIGIN, AS_INTERNET2_BLEND, AS_LUMEN,
+                    AS_RIPE, AS_NIKS):
+            assert asn in topo
+
+    def test_validates(self, ecosystem):
+        ecosystem.topology.validate()
+
+    def test_backbone_fabric_mesh(self, ecosystem):
+        topo = ecosystem.topology
+        assert topo.is_fabric(AS_INTERNET2, AS_GEANT)
+        assert topo.is_fabric(AS_INTERNET2, AS_NORDUNET)
+        assert topo.rel(AS_GEANT, AS_NORDUNET) is Rel.PEER
+
+    def test_measurement_wiring(self, ecosystem):
+        topo = ecosystem.topology
+        assert topo.rel(AS_INTERNET2_BLEND, AS_LUMEN) is Rel.PROVIDER
+        assert topo.rel(AS_SURF_ORIGIN, AS_SURF) is Rel.PROVIDER
+        assert ecosystem.re_origin_for("surf") == AS_SURF_ORIGIN
+        assert ecosystem.re_origin_for("internet2") == AS_INTERNET2
+
+    def test_re_origin_for_unknown(self, ecosystem):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            ecosystem.re_origin_for("nope")
+
+    def test_ripe_equal_localpref(self, ecosystem):
+        policy = ecosystem.topology.node(AS_RIPE).policy
+        values = {
+            policy.localpref_for(nbr, Rel.PROVIDER)
+            for nbr in ecosystem.topology.providers(AS_RIPE)
+        }
+        assert len(values) == 1
+
+    def test_niks_localpref_asymmetry(self, ecosystem):
+        policy = ecosystem.topology.node(AS_NIKS).policy
+        assert policy.localpref_for(AS_GEANT, Rel.PEER) == 102
+        assert policy.localpref_for(AS_NORDUNET, Rel.PROVIDER) == 50
+        assert policy.localpref_for(AS_ARELION, Rel.PROVIDER) == 50
+
+    def test_surf_filters_re_tag_toward_commodity(self, ecosystem):
+        topo = ecosystem.topology
+        policy = topo.node(AS_SURF).policy
+        commodity = [
+            nbr for nbr in topo.providers(AS_SURF)
+            if not topo.node(nbr).klass.is_re
+        ]
+        assert commodity
+        assert all(policy.blocks_export(nbr, "re") for nbr in commodity)
+
+    def test_members_have_re_attachment(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if truth.asn == AS_RIPE:
+                continue
+            assert truth.re_neighbors
+            for nbr in truth.re_neighbors:
+                assert topo.has_link(truth.asn, nbr)
+
+
+class TestGroundTruthConsistency:
+    def test_visible_commodity_members_have_commodity_link(self, ecosystem):
+        for truth in ecosystem.members.values():
+            if truth.visible_commodity:
+                assert truth.commodity_neighbors
+
+    def test_hidden_commodity_blocks_export(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if truth.hidden_commodity and truth.commodity_neighbors:
+                policy = topo.node(truth.asn).policy
+                assert any(
+                    policy.blocks_export(nbr)
+                    for nbr in truth.commodity_neighbors
+                )
+
+    def test_equal_members_have_equal_localpref(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if (
+                truth.egress_class is EgressClass.EQUAL
+                and truth.commodity_neighbors
+                and truth.behind_transit is None
+                and truth.asn != AS_RIPE
+            ):
+                policy = topo.node(truth.asn).policy
+                re_lp = policy.localpref_for(
+                    truth.re_neighbors[0], Rel.PROVIDER
+                )
+                comm_lp = policy.localpref_for(
+                    truth.commodity_neighbors[0], Rel.PROVIDER
+                )
+                assert re_lp == comm_lp
+
+    def test_re_prefer_members_rank_re_higher(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if (
+                truth.egress_class is EgressClass.RE_PREFER
+                and truth.commodity_neighbors
+                and truth.behind_transit is None
+            ):
+                policy = topo.node(truth.asn).policy
+                assert policy.localpref_for(
+                    truth.re_neighbors[0], Rel.PROVIDER
+                ) > policy.localpref_for(
+                    truth.commodity_neighbors[0], Rel.PROVIDER
+                )
+
+    def test_more_commodity_prependers_prepend(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if (
+                truth.prepend_class is PrependClass.MORE_COMMODITY
+                and truth.visible_commodity
+            ):
+                policy = topo.node(truth.asn).policy
+                assert policy.prepends_toward(
+                    truth.commodity_neighbors[0]
+                ) > 0
+
+    def test_age_tiebreak_members_insensitive(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if truth.age_tiebreak_only:
+                assert not topo.node(truth.asn).policy.path_length_sensitive
+                assert truth.side is MemberSide.PEER_NREN
+
+    def test_cone_members_single_homed(self, ecosystem):
+        topo = ecosystem.topology
+        for truth in ecosystem.members.values():
+            if truth.behind_transit is not None:
+                assert topo.providers(truth.asn) == [truth.behind_transit]
+
+    def test_mixed_prefixes_have_offnet_system(self, ecosystem):
+        for plan in ecosystem.prefix_plans.values():
+            if plan.kind is PrefixKind.MIXED:
+                attached = {s.attached_asn for s in plan.systems}
+                assert plan.origin_asn in attached
+                assert len(attached) > 1
+
+    def test_interconnect_prefixes_fully_offnet(self, ecosystem):
+        for plan in ecosystem.prefix_plans.values():
+            if plan.kind is PrefixKind.INTERCONNECT and plan.systems:
+                assert all(
+                    s.attached_asn != plan.origin_asn for s in plan.systems
+                )
+
+    def test_covered_prefixes_are_covered(self, ecosystem):
+        for plan in ecosystem.covered_prefixes():
+            assert plan.covered_by is not None
+            assert plan.covered_by.properly_covers(plan.prefix)
+
+    def test_systems_inside_their_prefix(self, ecosystem):
+        for plan in ecosystem.prefix_plans.values():
+            for system in plan.systems:
+                assert plan.prefix.contains_address(system.address)
+
+
+class TestPopulationShape:
+    def test_scaling(self):
+        small = build_ecosystem(REEcosystemConfig(scale=0.03), seed=3)
+        larger = build_ecosystem(REEcosystemConfig(scale=0.08), seed=3)
+        assert len(larger.members) > len(small.members)
+
+    def test_seed_funnel_rates(self, ecosystem):
+        studied = ecosystem.studied_prefixes()
+        seeded = ecosystem.seeded_prefixes()
+        assert 0.60 < len(seeded) / len(studied) < 0.76
+        three = sum(1 for p in seeded if len(p.alive_systems) >= 3)
+        assert 0.74 < three / len(seeded) < 0.91
+
+    def test_both_sides_present(self, ecosystem):
+        sides = {plan.side for plan in ecosystem.studied_prefixes()}
+        assert sides == {MemberSide.PARTICIPANT, MemberSide.PEER_NREN}
+
+    def test_feeders_selected(self, ecosystem):
+        feeders = ecosystem.feeders
+        assert len(feeders.member_feeders) >= 10
+        assert len(feeders.vrf_split_feeders) >= 1
+        assert set(feeders.vrf_split_feeders) <= set(feeders.member_feeders)
+        assert feeders.commodity_sessions
+        assert feeders.re_sessions
+
+    def test_vrf_split_feeders_re_prefer_visible(self, ecosystem):
+        for asn in ecosystem.feeders.vrf_split_feeders:
+            truth = ecosystem.members[asn]
+            assert truth.egress_class is EgressClass.RE_PREFER
+            assert truth.visible_commodity
+
+    def test_outages_planned_for_both_experiments(self, ecosystem):
+        experiments = {o.experiment for o in ecosystem.outages}
+        assert experiments == {"surf", "internet2"}
+
+    def test_outage_victims_can_fall_back(self, ecosystem):
+        for outage in ecosystem.outages:
+            truth = ecosystem.members[outage.victim_asn]
+            assert truth.visible_commodity
+
+    def test_geo_database_built(self, ecosystem):
+        assert ecosystem.geo is not None
+        assert len(ecosystem.geo) > 0
+        assert "US" in ecosystem.geo.countries()
+
+    def test_determinism(self):
+        a = build_ecosystem(REEcosystemConfig(scale=0.03), seed=9)
+        b = build_ecosystem(REEcosystemConfig(scale=0.03), seed=9)
+        assert set(a.members) == set(b.members)
+        assert set(a.prefix_plans) == set(b.prefix_plans)
+        for prefix in a.prefix_plans:
+            sa = [(s.address, s.attached_asn) for s in a.prefix_plans[prefix].systems]
+            sb = [(s.address, s.attached_asn) for s in b.prefix_plans[prefix].systems]
+            assert sa == sb
+
+    def test_different_seeds_differ(self):
+        a = build_ecosystem(REEcosystemConfig(scale=0.03), seed=1)
+        b = build_ecosystem(REEcosystemConfig(scale=0.03), seed=2)
+        assert set(a.prefix_plans) != set(b.prefix_plans) or set(
+            a.members
+        ) != set(b.members)

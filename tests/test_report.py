@@ -1,0 +1,45 @@
+"""Tests for the top-level report orchestration."""
+
+import pytest
+
+from repro.core.report import experiment_collector, reproduce_paper
+
+
+class TestPaperReproduction:
+    def test_contains_all_artifacts(self, reproduction):
+        assert reproduction.table1_surf.experiment == "surf"
+        assert reproduction.table1_internet2.experiment == "internet2"
+        assert reproduction.table2.comparable > 0
+        assert reproduction.table3.total > 0
+        assert reproduction.table4.total > 0
+        assert reproduction.figure5.total_prefixes > 0
+        assert reproduction.figure8_surf.experiment == "surf"
+        assert reproduction.churn_internet2.commodity_phase.updates > 0
+        assert reproduction.ground_truth.contacted > 0
+
+    def test_inferences_share_prefix_set(self, reproduction):
+        assert set(reproduction.surf_inference.inferences) == set(
+            reproduction.internet2_inference.inferences
+        )
+
+    def test_ecosystem_reused_when_given(self, ecosystem):
+        report = reproduce_paper(ecosystem=ecosystem, seed=99)
+        assert report.ecosystem is ecosystem
+
+    def test_render_is_single_document(self, reproduction):
+        text = reproduction.render()
+        assert text.count("Table 1") == 2
+        assert len(text.splitlines()) > 50
+
+
+class TestExperimentCollector:
+    def test_sessions_cover_all_feeders(self, ecosystem, internet2_result):
+        collector = experiment_collector(ecosystem, internet2_result)
+        expected = ecosystem.feeders.all_sessions()
+        assert collector.sessions == expected
+        assert collector.updates  # log was ingested
+
+    def test_updates_sorted_by_time(self, ecosystem, internet2_result):
+        collector = experiment_collector(ecosystem, internet2_result)
+        times = [u.time for u in collector.updates]
+        assert times == sorted(times)

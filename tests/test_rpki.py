@@ -1,0 +1,152 @@
+"""Tests for RPKI ROAs, IRR objects, and ROV enforcement."""
+
+import pytest
+
+from repro import Announcement, propagate_fastpath
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.rpki import (
+    IRRRegistry,
+    IRRRouteObject,
+    MeasurementRegistrations,
+    ROA,
+    ROATable,
+    ValidationState,
+    rov_drops_route,
+)
+from repro.errors import PolicyError
+from repro.netutil import Prefix
+from repro.rng import SeedTree
+from repro.topology.graph import Topology
+
+MEAS = Prefix.parse("163.253.63.0/24")
+
+
+class TestROA:
+    def test_covers_exact(self):
+        roa = ROA(MEAS, 11537)
+        assert roa.covers(MEAS)
+
+    def test_max_length_allows_more_specifics(self):
+        roa = ROA(Prefix.parse("163.253.0.0/16"), 11537, max_length=24)
+        assert roa.covers(MEAS)
+        assert not roa.covers(Prefix.parse("163.253.63.0/25"))
+
+    def test_default_max_length_is_prefix_length(self):
+        roa = ROA(Prefix.parse("163.253.0.0/16"), 11537)
+        assert not roa.covers(MEAS)
+
+    def test_rejects_bad_max_length(self):
+        with pytest.raises(PolicyError):
+            ROA(MEAS, 11537, max_length=20)
+        with pytest.raises(PolicyError):
+            ROA(MEAS, 11537, max_length=33)
+
+
+class TestROATable:
+    def test_not_found_without_covering(self):
+        table = ROATable()
+        assert table.validate(MEAS, 11537) is ValidationState.NOT_FOUND
+
+    def test_valid_with_matching_origin(self):
+        table = ROATable([ROA(MEAS, 11537)])
+        assert table.validate(MEAS, 11537) is ValidationState.VALID
+
+    def test_invalid_with_wrong_origin(self):
+        table = ROATable([ROA(MEAS, 11537)])
+        assert table.validate(MEAS, 64666) is ValidationState.INVALID
+
+    def test_multiple_roas_any_match_wins(self):
+        table = ROATable([ROA(MEAS, 11537), ROA(MEAS, 1125)])
+        assert table.validate(MEAS, 1125) is ValidationState.VALID
+
+    def test_rov_drop_predicate(self):
+        table = ROATable([ROA(MEAS, 11537)])
+        assert rov_drops_route(table, MEAS, 64666)
+        assert not rov_drops_route(table, MEAS, 11537)
+        assert not rov_drops_route(None, MEAS, 64666)
+        unknown = Prefix.parse("198.51.100.0/24")
+        assert not rov_drops_route(table, unknown, 64666)  # NOT_FOUND
+
+
+class TestIRR:
+    def test_documents(self):
+        registry = IRRRegistry([IRRRouteObject(MEAS, 11537)])
+        assert registry.documents(MEAS, 11537)
+        assert not registry.documents(MEAS, 64666)
+        assert len(registry) == 1
+
+
+class TestMeasurementRegistrations:
+    def test_covers_all_origins(self, ecosystem):
+        registrations = MeasurementRegistrations.for_ecosystem(ecosystem)
+        for origin in (ecosystem.commodity_origin, ecosystem.surf_origin,
+                       ecosystem.internet2_origin):
+            assert registrations.announcement_is_clean(
+                ecosystem.measurement_prefix, origin
+            )
+
+    def test_hijack_not_clean(self, ecosystem):
+        registrations = MeasurementRegistrations.for_ecosystem(ecosystem)
+        assert not registrations.announcement_is_clean(
+            ecosystem.measurement_prefix, 64666
+        )
+
+
+class TestROVEnforcement:
+    def _chain(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)
+        topo.add_provider(3, 2)
+        return topo
+
+    def test_fastpath_drops_invalid(self):
+        topo = self._chain()
+        topo.node(3).policy.enforce_rov = True
+        table = ROATable([ROA(MEAS, 99)])  # authorises a different origin
+        result = propagate_fastpath(
+            topo, [Announcement(MEAS, 1)], roa_table=table
+        )
+        assert result.route_at(2) is not None  # AS 2 does not enforce
+        assert result.route_at(3) is None      # AS 3 drops INVALID
+
+    def test_fastpath_accepts_valid_and_not_found(self):
+        topo = self._chain()
+        topo.node(3).policy.enforce_rov = True
+        valid = ROATable([ROA(MEAS, 1)])
+        result = propagate_fastpath(
+            topo, [Announcement(MEAS, 1)], roa_table=valid
+        )
+        assert result.route_at(3) is not None
+        result = propagate_fastpath(
+            topo, [Announcement(MEAS, 1)], roa_table=ROATable()
+        )
+        assert result.route_at(3) is not None
+
+    def test_engine_drops_invalid(self):
+        topo = self._chain()
+        topo.node(3).policy.enforce_rov = True
+        table = ROATable([ROA(MEAS, 99)])
+        engine = PropagationEngine(topo, SeedTree(0), roa_table=table)
+        engine.announce(1, MEAS)
+        engine.run_to_fixpoint()
+        assert engine.best_route(2, MEAS) is not None
+        assert engine.best_route(3, MEAS) is None
+
+    def test_engine_matches_fastpath_under_rov(self):
+        topo = self._chain()
+        topo.node(3).policy.enforce_rov = True
+        for node in topo.ases():
+            node.policy.age_tiebreak = False
+        table = ROATable([ROA(MEAS, 99)])
+        fast = propagate_fastpath(
+            topo, [Announcement(MEAS, 1)], roa_table=table
+        )
+        engine = PropagationEngine(topo, SeedTree(0), roa_table=table)
+        engine.announce(1, MEAS)
+        engine.run_to_fixpoint()
+        for asn in topo.nodes:
+            a = engine.best_route(asn, MEAS)
+            b = fast.route_at(asn)
+            assert (a is None) == (b is None)

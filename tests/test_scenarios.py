@@ -1,0 +1,157 @@
+"""Tests for the paper-figure scenario topologies.
+
+These check the *semantics the figures illustrate*, using the real
+propagation machinery: Figure 1 (localpref makes R&E deterministic),
+Figure 4 (the NIKS asymmetry), Figure 6 (peer-vs-provider inference at
+an IXP)."""
+
+import pytest
+
+from repro import Announcement, Prefix, propagate_fastpath
+from repro.topology.scenarios import (
+    AS_COGENT,
+    AS_NYSERNET,
+    build_columbia_scenario,
+    build_ixp_scenario,
+    build_niks_scenario,
+)
+
+MEAS = Prefix.parse("163.253.63.0/24")
+UCSD_PREFIX = Prefix.parse("132.239.0.0/16")
+
+
+class TestColumbiaScenario:
+    def test_both_routes_available_same_length(self):
+        topo = build_columbia_scenario()
+        result = propagate_fastpath(
+            topo, [Announcement(UCSD_PREFIX, 7377)]
+        )
+        candidates = result.candidates_at(14)
+        assert {r.learned_from for r in candidates} == {
+            AS_NYSERNET, AS_COGENT,
+        }
+        lengths = {r.path.length for r in candidates}
+        assert len(lengths) == 1  # equal AS path length, as in Figure 1
+
+    def test_higher_localpref_selects_re(self):
+        topo = build_columbia_scenario(columbia_prefers_re=True)
+        result = propagate_fastpath(topo, [Announcement(UCSD_PREFIX, 7377)])
+        assert result.route_at(14).learned_from == AS_NYSERNET
+
+    def test_equal_localpref_is_not_deterministically_re(self):
+        topo = build_columbia_scenario(columbia_prefers_re=False)
+        result = propagate_fastpath(topo, [Announcement(UCSD_PREFIX, 7377)])
+        best = result.route_at(14)
+        # With equal localpref and equal lengths the choice falls to an
+        # arbitrary tie-break — the nondeterminism the paper warns of.
+        assert best.learned_from == min(AS_NYSERNET, AS_COGENT)
+
+
+class TestNIKSScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_niks_scenario()
+
+    def _routes(self, topo, asns, experiment, re_prepends=0, comm_prepends=0):
+        re_origin = (
+            asns["surf_origin"] if experiment == "surf"
+            else asns["internet2"]
+        )
+        return propagate_fastpath(
+            topo,
+            [
+                Announcement(MEAS, re_origin,
+                             default_prepends=re_prepends, tag="re"),
+                Announcement(MEAS, asns["commodity_origin"],
+                             default_prepends=comm_prepends,
+                             tag="commodity"),
+            ],
+        )
+
+    def test_surf_always_re_via_geant(self, scenario):
+        topo, asns = scenario
+        for re_p in (0, 4):
+            result = self._routes(topo, asns, "surf", re_prepends=re_p)
+            best = result.route_at(asns["niks"])
+            assert best.tag == "re"
+            assert best.learned_from == asns["geant"]
+            assert best.localpref == 102
+
+    def test_internet2_route_not_via_geant(self, scenario):
+        """GEANT must not export the fabric-learned Internet2 route to
+        its non-fabric peer NIKS."""
+        topo, asns = scenario
+        result = self._routes(topo, asns, "internet2")
+        candidates = result.candidates_at(asns["niks"])
+        assert asns["geant"] not in {r.learned_from for r in candidates}
+
+    def test_internet2_path_length_sensitivity(self, scenario):
+        topo, asns = scenario
+        # R&E path via NORDUnet is short: R&E wins on length at 0-0...
+        best = self._routes(topo, asns, "internet2").route_at(asns["niks"])
+        assert best.tag == "re"
+        assert best.localpref == 50
+        # ...but loses when the R&E announcement is prepended.
+        best = self._routes(
+            topo, asns, "internet2", re_prepends=4
+        ).route_at(asns["niks"])
+        assert best.tag == "commodity"
+
+    def test_cone_member_inherits_niks_choice(self, scenario):
+        topo, asns = scenario
+        member = asns["member"]
+        best = self._routes(
+            topo, asns, "internet2", re_prepends=4
+        ).route_at(member)
+        assert best.tag == "commodity"
+        assert best.learned_from == asns["niks"]
+
+
+class TestIXPScenario:
+    def test_equal_localpref_alpha_uses_path_length(self):
+        topo, asns = build_ixp_scenario(alpha_equal_localpref=True)
+        # Unprepended: the direct peer path (length 1) beats the transit
+        # path (length 2).
+        result = propagate_fastpath(
+            topo, [Announcement(Prefix.parse("192.0.2.0/24"), asns["host"])]
+        )
+        assert result.route_at(asns["alpha"]).learned_from == asns["host"]
+        # Prepending the peering side flips Alpha to the provider route —
+        # the equal-localpref signature.
+        result = propagate_fastpath(
+            topo,
+            [
+                Announcement(
+                    Prefix.parse("192.0.2.0/24"), asns["host"],
+                    prepends={asns["alpha"]: 2, asns["beta"]: 2},
+                )
+            ],
+        )
+        assert result.route_at(asns["alpha"]).learned_from == asns["tier1"]
+
+    def test_peer_preferring_alpha_is_insensitive(self):
+        topo, asns = build_ixp_scenario(alpha_equal_localpref=False)
+        result = propagate_fastpath(
+            topo,
+            [
+                Announcement(
+                    Prefix.parse("192.0.2.0/24"), asns["host"],
+                    prepends={asns["alpha"]: 4, asns["beta"]: 4},
+                )
+            ],
+        )
+        assert result.route_at(asns["alpha"]).learned_from == asns["host"]
+
+    def test_beta_is_ambiguous(self):
+        """Beta peers with both the host and the Tier-1: two peer routes,
+        so the method cannot isolate peer-vs-provider preference (§5)."""
+        topo, asns = build_ixp_scenario()
+        result = propagate_fastpath(
+            topo, [Announcement(Prefix.parse("192.0.2.0/24"), asns["host"])]
+        )
+        candidates = result.candidates_at(asns["beta"])
+        rels = {
+            topo.rel(asns["beta"], r.learned_from) for r in candidates
+        }
+        from repro.bgp.policy import Rel
+        assert rels == {Rel.PEER}  # both alternatives are peer routes

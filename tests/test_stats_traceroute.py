@@ -1,0 +1,127 @@
+"""Tests for topology statistics and AS-level traceroute."""
+
+import pytest
+
+from repro.netutil import Prefix
+from repro.probing import (
+    ForwardingOutcome,
+    paths_are_symmetric,
+    traceroute,
+)
+from repro.topology.graph import ASClass, Topology
+from repro.topology.stats import (
+    DistributionSummary,
+    compute_stats,
+    customer_cone_sizes,
+)
+
+PFX_A = Prefix.parse("10.0.0.0/24")
+PFX_B = Prefix.parse("10.1.0.0/24")
+
+
+def line_topology():
+    """a(1) - t(2) - t(3) - b(4): a chain with prefixes at both ends."""
+    topo = Topology()
+    topo.add_as(1, "a", ASClass.MEMBER)
+    topo.add_as(2, "t2", ASClass.TRANSIT)
+    topo.add_as(3, "t3", ASClass.TRANSIT)
+    topo.add_as(4, "b", ASClass.MEMBER)
+    topo.add_provider(1, 2)
+    topo.add_peering(2, 3)
+    topo.add_provider(4, 3)
+    topo.originate(1, PFX_A)
+    topo.originate(4, PFX_B)
+    return topo
+
+
+class TestDistributionSummary:
+    def test_empty(self):
+        summary = DistributionSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_basic(self):
+        summary = DistributionSummary.of([3, 1, 2])
+        assert summary.minimum == 1
+        assert summary.maximum == 3
+        assert summary.median == 2
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.total == 6
+
+
+class TestCustomerCones:
+    def test_chain_cones(self):
+        topo = line_topology()
+        cones = customer_cone_sizes(topo)
+        assert cones[1] == 0
+        assert cones[2] == 1  # AS 1
+        assert cones[3] == 1  # AS 4
+
+    def test_nested_cones(self, ecosystem):
+        cones = customer_cone_sizes(ecosystem.topology)
+        internet2 = cones[ecosystem.internet2_origin]
+        # Internet2's cone includes every regional and their members.
+        assert internet2 > 50
+        niks = cones[ecosystem.niks_asn]
+        assert niks >= 1
+
+
+class TestComputeStats:
+    def test_on_ecosystem(self, ecosystem):
+        stats = compute_stats(ecosystem.topology)
+        assert stats.num_ases == len(ecosystem.topology)
+        assert stats.num_links == ecosystem.topology.num_links()
+        assert stats.class_counts[ASClass.MEMBER] > 100
+        assert stats.member_prefix_counts.mean > 2
+        assert stats.degree.maximum >= stats.degree.median
+        text = stats.render()
+        assert "Topology:" in text
+        assert "member" in text
+
+
+class TestTraceroute:
+    def test_forward_path(self):
+        topo = line_topology()
+        result = traceroute(topo, 1, PFX_B)
+        assert result.reached
+        assert result.hops == [1, 2, 3, 4]
+        assert "AS1" in result.render()
+
+    def test_unreachable(self):
+        topo = line_topology()
+        topo.add_as(9, "isolated", ASClass.MEMBER)
+        result = traceroute(topo, 9, PFX_B)
+        assert not result.reached
+        assert result.outcome is ForwardingOutcome.NO_ROUTE
+
+    def test_explicit_origin(self):
+        topo = line_topology()
+        other = Prefix.parse("10.2.0.0/24")
+        result = traceroute(topo, 1, other, destination_origin=4)
+        assert result.reached
+
+    def test_symmetric_chain(self):
+        topo = line_topology()
+        assert paths_are_symmetric(topo, 1, PFX_A, 4, PFX_B) is True
+
+    def test_policy_asymmetry_detected(self):
+        """Give AS 4 a second upstream preferred only in one direction:
+        forward and return paths then differ — the phenomenon that
+        motivates return-path measurement."""
+        topo = line_topology()
+        topo.add_as(5, "t5", ASClass.TRANSIT)
+        topo.add_peering(5, 2)
+        topo.add_provider(4, 5)
+        # AS 4 prefers 5 for egress; traffic toward 4 still arrives via
+        # 3 (both offer equal-length paths; tie-break picks lowest ASN).
+        topo.node(4).policy.set_neighbor_localpref(5, 200)
+        topo.node(4).policy.set_neighbor_localpref(3, 100)
+        symmetric = paths_are_symmetric(topo, 1, PFX_A, 4, PFX_B)
+        assert symmetric is False
+
+    def test_unreachable_symmetry_is_none(self):
+        topo = line_topology()
+        topo.add_as(9, "isolated", ASClass.MEMBER)
+        lonely = Prefix.parse("10.9.0.0/24")
+        topo.originate(9, lonely)
+        assert paths_are_symmetric(topo, 1, PFX_A, 9, lonely) is None

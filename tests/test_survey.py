@@ -1,0 +1,206 @@
+"""Tests for the generalised preference survey (§5)."""
+
+import pytest
+
+from repro.core.survey import (
+    AnnouncementSpec,
+    PreferenceSurvey,
+    SurveyCategory,
+    _classify_tags,
+    infer_equal_localpref,
+)
+from repro.errors import AnalysisError
+from repro.netutil import Prefix
+from repro.topology.re_config import EgressClass
+from repro.topology.scenarios import build_ixp_scenario
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+
+class TestClassifyTags:
+    def test_always_first(self):
+        category, step = _classify_tags(["a"] * 5, "a")
+        assert category is SurveyCategory.ALWAYS_FIRST
+        assert step is None
+
+    def test_always_second(self):
+        category, _ = _classify_tags(["b"] * 5, "a")
+        assert category is SurveyCategory.ALWAYS_SECOND
+
+    def test_switch_to_first(self):
+        category, step = _classify_tags(["b", "b", "a", "a"], "a")
+        assert category is SurveyCategory.SWITCHES_TO_FIRST
+        assert step == 2
+
+    def test_switch_to_second(self):
+        category, _ = _classify_tags(["a", "b", "b"], "a")
+        assert category is SurveyCategory.SWITCHES_TO_SECOND
+
+    def test_unstable(self):
+        category, step = _classify_tags(["a", "b", "a"], "a")
+        assert category is SurveyCategory.UNSTABLE
+        assert step == 1
+
+    def test_unreachable(self):
+        category, _ = _classify_tags(["a", None, "a"], "a")
+        assert category is SurveyCategory.UNREACHABLE
+
+
+class TestSurveyValidation:
+    def test_rejects_mismatched_prefixes(self, ecosystem):
+        other = Prefix.parse("198.51.100.0/24")
+        with pytest.raises(AnalysisError):
+            PreferenceSurvey(
+                ecosystem.topology,
+                AnnouncementSpec(PFX, ecosystem.internet2_origin, "a"),
+                AnnouncementSpec(other, ecosystem.commodity_origin, "b"),
+            )
+
+    def test_rejects_same_tags(self, ecosystem):
+        with pytest.raises(AnalysisError):
+            PreferenceSurvey(
+                ecosystem.topology,
+                AnnouncementSpec(PFX, ecosystem.internet2_origin, "a"),
+                AnnouncementSpec(PFX, ecosystem.commodity_origin, "a"),
+            )
+
+
+class TestSurveyOnEcosystem:
+    @pytest.fixture(scope="class")
+    def outcome(self, ecosystem):
+        survey = PreferenceSurvey(
+            ecosystem.topology,
+            AnnouncementSpec(
+                ecosystem.measurement_prefix, ecosystem.internet2_origin,
+                "re",
+            ),
+            AnnouncementSpec(
+                ecosystem.measurement_prefix, ecosystem.commodity_origin,
+                "commodity",
+            ),
+        )
+        members = [
+            truth.asn
+            for truth in ecosystem.members.values()
+            if truth.behind_transit is None
+            and truth.asn != ecosystem.ripe_asn
+        ]
+        return survey.run(targets=members)
+
+    def test_re_preferring_members_always_first(self, ecosystem, outcome):
+        misses = 0
+        checked = 0
+        for truth in ecosystem.members.values():
+            if truth.asn not in outcome.targets:
+                continue
+            if truth.egress_class is not EgressClass.RE_PREFER:
+                continue
+            checked += 1
+            if outcome.category_of(truth.asn) is not (
+                SurveyCategory.ALWAYS_FIRST
+            ):
+                misses += 1
+        assert checked > 0
+        assert misses <= 0.02 * checked
+
+    def test_equal_members_switch(self, ecosystem, outcome):
+        switchers = 0
+        checked = 0
+        for truth in ecosystem.members.values():
+            if truth.asn not in outcome.targets:
+                continue
+            if (
+                truth.egress_class is EgressClass.EQUAL
+                and truth.has_commodity_egress
+            ):
+                checked += 1
+                category = outcome.category_of(truth.asn)
+                if category is SurveyCategory.SWITCHES_TO_FIRST:
+                    switchers += 1
+        assert checked > 0
+        assert switchers > 0.8 * checked
+
+    def test_commodity_preferring_members(self, ecosystem, outcome):
+        for truth in ecosystem.members.values():
+            if truth.asn not in outcome.targets:
+                continue
+            if (
+                truth.egress_class is EgressClass.COMMODITY_PREFER
+                and truth.has_commodity_egress
+            ):
+                assert outcome.category_of(truth.asn) is (
+                    SurveyCategory.ALWAYS_SECOND
+                )
+
+    def test_summary_counts(self, outcome):
+        summary = outcome.summary()
+        assert sum(summary.values()) == len(outcome.targets)
+        assert summary.get(SurveyCategory.ALWAYS_FIRST, 0) > 0
+
+    def test_of_category_sorted(self, outcome):
+        listed = outcome.of_category(SurveyCategory.ALWAYS_FIRST)
+        assert listed == sorted(listed)
+
+
+class TestInferEqualLocalpref:
+    def test_convenience_wrapper(self):
+        topo, asns = build_ixp_scenario(alpha_equal_localpref=True)
+        assert infer_equal_localpref(
+            topo,
+            AnnouncementSpec(PFX, asns["host"], "peer",
+                             neighbors=(asns["alpha"], asns["beta"])),
+            AnnouncementSpec(PFX, asns["host"], "provider",
+                             neighbors=(asns["tier1"],)),
+            asns["alpha"],
+        )
+
+    def test_single_host_two_classes(self):
+        """The Figure 6 single-origin form: one host announces through
+        the IXP side and the transit side with separate tags."""
+        topo, asns = build_ixp_scenario(alpha_equal_localpref=True)
+        survey = PreferenceSurvey(
+            topo,
+            AnnouncementSpec(PFX, asns["host"], "peer",
+                             neighbors=(asns["alpha"], asns["beta"])),
+            AnnouncementSpec(PFX, asns["host"], "provider",
+                             neighbors=(asns["tier1"],)),
+        )
+        outcome = survey.run(targets=[asns["alpha"]])
+        assert outcome.targets[asns["alpha"]].path_length_sensitive
+
+    def test_run_restores_export_filters(self):
+        """Scoped announcements must not leave policy residue on the
+        shared topology."""
+        topo, asns = build_ixp_scenario()
+        policy = topo.node(asns["host"]).policy
+        before = {
+            nbr: set(tags) for nbr, tags in policy.no_export_tags.items()
+        }
+        survey = PreferenceSurvey(
+            topo,
+            AnnouncementSpec(PFX, asns["host"], "peer",
+                             neighbors=(asns["alpha"],)),
+            AnnouncementSpec(PFX, asns["host"], "provider",
+                             neighbors=(asns["tier1"],)),
+        )
+        survey.run(targets=[asns["alpha"]])
+        after = {
+            nbr: set(tags)
+            for nbr, tags in policy.no_export_tags.items()
+            if tags
+        }
+        assert after == {nbr: t for nbr, t in before.items() if t}
+
+    def test_single_host_peer_preferring(self):
+        topo, asns = build_ixp_scenario(alpha_equal_localpref=False)
+        survey = PreferenceSurvey(
+            topo,
+            AnnouncementSpec(PFX, asns["host"], "peer",
+                             neighbors=(asns["alpha"], asns["beta"])),
+            AnnouncementSpec(PFX, asns["host"], "provider",
+                             neighbors=(asns["tier1"],)),
+        )
+        outcome = survey.run(targets=[asns["alpha"]])
+        assert outcome.category_of(asns["alpha"]) is (
+            SurveyCategory.ALWAYS_FIRST
+        )

@@ -1,0 +1,77 @@
+"""Tests for the prefix allocator."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.netutil import Prefix, exclude_covered
+from repro.topology.alloc import PrefixAllocator
+
+
+class TestAllocate:
+    def test_allocates_requested_length(self):
+        alloc = PrefixAllocator()
+        assert alloc.allocate(24).length == 24
+        assert alloc.allocate(16).length == 16
+
+    def test_allocations_never_overlap(self):
+        alloc = PrefixAllocator()
+        prefixes = [alloc.allocate(length) for length in (24, 16, 20, 24, 16)]
+        kept, excluded = exclude_covered(prefixes)
+        assert excluded == []
+
+    def test_rejects_out_of_range_lengths(self):
+        alloc = PrefixAllocator()
+        with pytest.raises(AddressError):
+            alloc.allocate(8)
+        with pytest.raises(AddressError):
+            alloc.allocate(30)
+
+    def test_moves_to_next_block(self):
+        alloc = PrefixAllocator(pool=(Prefix.parse("128.0.0.0/16"),
+                                      Prefix.parse("129.0.0.0/16")))
+        first = alloc.allocate(16)
+        second = alloc.allocate(16)
+        assert first.network >> 24 == 128
+        assert second.network >> 24 == 129
+
+    def test_exhaustion_raises(self):
+        alloc = PrefixAllocator(pool=(Prefix.parse("128.0.0.0/16"),))
+        alloc.allocate(16)
+        with pytest.raises(AddressError):
+            alloc.allocate(24)
+
+    def test_alignment_is_natural(self):
+        alloc = PrefixAllocator()
+        alloc.allocate(24)
+        sixteen = alloc.allocate(16)
+        assert sixteen.network % (1 << 16) == 0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(AddressError):
+            PrefixAllocator(pool=())
+
+    def test_allocated_recorded(self):
+        alloc = PrefixAllocator()
+        prefix = alloc.allocate(24)
+        assert prefix in alloc.allocated
+
+
+class TestCarveCovered:
+    def test_carved_is_properly_covered(self):
+        alloc = PrefixAllocator()
+        parent = alloc.allocate(20)
+        child = alloc.carve_covered(parent)
+        assert parent.properly_covers(child)
+        assert child.network != parent.network  # visibly distinct
+
+    def test_carve_rejects_non_shorter(self):
+        alloc = PrefixAllocator()
+        parent = alloc.allocate(24)
+        with pytest.raises(AddressError):
+            alloc.carve_covered(parent, length=24)
+
+    def test_default_depth(self):
+        alloc = PrefixAllocator()
+        parent = alloc.allocate(24)
+        child = alloc.carve_covered(parent)
+        assert child.length == 26

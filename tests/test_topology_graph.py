@@ -1,0 +1,179 @@
+"""Tests for the Topology container."""
+
+import pytest
+
+from repro.bgp.policy import Rel
+from repro.errors import TopologyError
+from repro.netutil import Prefix
+from repro.topology.graph import ASClass, MemberSide, Topology
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+
+def small_topology():
+    topo = Topology()
+    topo.add_as(1, "one", ASClass.TIER1)
+    topo.add_as(2, "two", ASClass.TRANSIT)
+    topo.add_as(3, "three", ASClass.MEMBER, country="US", us_state="NY")
+    topo.add_provider(2, 1)
+    topo.add_provider(3, 2)
+    return topo
+
+
+class TestNodes:
+    def test_add_and_lookup(self):
+        topo = small_topology()
+        assert topo.node(1).name == "one"
+        assert 1 in topo and 99 not in topo
+        assert len(topo) == 3
+
+    def test_duplicate_asn_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.add_as(1, "again")
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_as(-1, "bad")
+
+    def test_unknown_lookup(self):
+        with pytest.raises(TopologyError):
+            small_topology().node(42)
+
+    def test_ases_of_class(self):
+        topo = small_topology()
+        assert [n.asn for n in topo.ases_of_class(ASClass.MEMBER)] == [3]
+
+    def test_tagged(self):
+        topo = small_topology()
+        topo.node(2).tags.add("vrf-split")
+        assert [n.asn for n in topo.tagged("vrf-split")] == [2]
+
+
+class TestLinks:
+    def test_rel_both_perspectives(self):
+        topo = small_topology()
+        assert topo.rel(2, 1) is Rel.PROVIDER
+        assert topo.rel(1, 2) is Rel.CUSTOMER
+
+    def test_peering(self):
+        topo = small_topology()
+        topo.add_as(4, "four")
+        topo.add_peering(2, 4, fabric=True)
+        assert topo.rel(2, 4) is Rel.PEER
+        assert topo.is_fabric(2, 4)
+        assert topo.is_fabric(4, 2)
+        assert not topo.is_fabric(1, 2)
+
+    def test_duplicate_link_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.add_provider(2, 1)
+
+    def test_self_link_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.add_peering(1, 1)
+
+    def test_link_to_unknown_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.add_provider(1, 42)
+
+    def test_rel_missing_link(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.rel(1, 3)
+
+    def test_neighbor_queries(self):
+        topo = small_topology()
+        assert topo.providers(3) == [2]
+        assert topo.customers(1) == [2]
+        assert topo.peers(1) == []
+        assert topo.has_link(2, 3)
+        assert not topo.has_link(1, 3)
+
+    def test_links_iterates_once(self):
+        topo = small_topology()
+        links = list(topo.links())
+        assert len(links) == 2
+        assert topo.num_links() == 2
+        assert all(link.a < link.b for link in links)
+
+
+class TestPrefixes:
+    def test_originate_and_lookup(self):
+        topo = small_topology()
+        info = topo.originate(3, PFX, side=MemberSide.PARTICIPANT)
+        assert topo.origin_of(PFX) == 3
+        assert topo.prefixes_of(3) == [PFX]
+        assert info.side is MemberSide.PARTICIPANT
+
+    def test_duplicate_prefix_rejected(self):
+        topo = small_topology()
+        topo.originate(3, PFX)
+        with pytest.raises(TopologyError):
+            topo.originate(2, PFX)
+
+    def test_originate_unknown_as(self):
+        with pytest.raises(TopologyError):
+            small_topology().originate(42, PFX)
+
+    def test_origin_of_unknown_prefix(self):
+        with pytest.raises(TopologyError):
+            small_topology().origin_of(PFX)
+
+    def test_tags_preserved(self):
+        topo = small_topology()
+        info = topo.originate(3, PFX, tags=("covered",))
+        assert "covered" in info.tags
+
+
+class TestUpstreamClassification:
+    def test_re_and_commodity_neighbors(self):
+        topo = Topology()
+        topo.add_as(1, "member", ASClass.MEMBER)
+        topo.add_as(2, "regional", ASClass.RE_REGIONAL)
+        topo.add_as(3, "transit", ASClass.TRANSIT)
+        topo.add_provider(1, 2)
+        topo.add_provider(1, 3)
+        assert topo.re_neighbors_of(1) == [2]
+        assert topo.commodity_neighbors_of(1) == [3]
+
+    def test_customers_not_upstreams(self):
+        topo = Topology()
+        topo.add_as(1, "transit", ASClass.TRANSIT)
+        topo.add_as(2, "member", ASClass.MEMBER)
+        topo.add_provider(2, 1)
+        assert topo.commodity_neighbors_of(1) == []
+
+    def test_is_re_classes(self):
+        assert ASClass.RE_BACKBONE.is_re
+        assert ASClass.NREN.is_re
+        assert ASClass.RE_REGIONAL.is_re
+        assert not ASClass.TIER1.is_re
+        assert not ASClass.MEMBER.is_re
+
+
+class TestValidate:
+    def test_valid_hierarchy_passes(self):
+        small_topology().validate()
+
+    def test_provider_cycle_detected(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)
+        topo.add_provider(2, 3)
+        topo.add_provider(3, 1)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_peering_cycles_allowed(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_peering(1, 2)
+        topo.add_peering(2, 3)
+        topo.add_peering(3, 1)
+        topo.validate()

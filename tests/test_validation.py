@@ -1,0 +1,127 @@
+"""Tests for Table 3 congruence and the operator ground-truth
+reproduction."""
+
+import pytest
+
+from repro.core.classify import InferenceCategory
+from repro.core.validation import (
+    build_table3,
+    expected_category,
+    operator_ground_truth,
+    truth_accuracy,
+)
+from repro.topology.re_config import EgressClass, MemberTruth
+from repro.topology.graph import MemberSide
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table3(self, ecosystem, internet2_inference, internet2_result):
+        return build_table3(ecosystem, internet2_inference, internet2_result)
+
+    def test_most_feeders_congruent(self, table3):
+        assert table3.total > 0
+        assert table3.total_congruent >= table3.total - 4
+
+    def test_vrf_split_feeders_incongruent_but_correct(
+        self, ecosystem, table3
+    ):
+        """The paper's key validation finding: the incongruent ASes
+        exported a commodity VRF while genuinely preferring R&E."""
+        vrf_entries = [e for e in table3.entries if e.vrf_split]
+        assert vrf_entries
+        for entry in vrf_entries:
+            if entry.inference is InferenceCategory.ALWAYS_RE:
+                assert not entry.congruent
+                assert "commodity VRF" in entry.note or entry.note == ""
+        assert table3.incongruent_but_correct >= 1
+
+    def test_non_vrf_always_re_feeders_congruent(self, table3):
+        for entry in table3.entries:
+            if (
+                entry.inference is InferenceCategory.ALWAYS_RE
+                and not entry.vrf_split
+            ):
+                assert entry.congruent
+
+    def test_tie_feeder_excluded(self, ecosystem, table3):
+        """One AS has no most-frequent inference, as in the paper."""
+        if ecosystem.feeders.tie_feeder is not None:
+            assert table3.excluded_no_majority >= 1
+            assert all(
+                e.asn != ecosystem.feeders.tie_feeder
+                for e in table3.entries
+            )
+
+    def test_render(self, table3):
+        text = table3.render()
+        assert "Congruent" in text
+        assert "Total" in text
+
+
+class TestExpectedCategory:
+    def _truth(self, egress, visible=True, hidden=False):
+        return MemberTruth(
+            asn=1, egress_class=egress, prepend_class=None,
+            side=MemberSide.PARTICIPANT,
+            visible_commodity=visible, hidden_commodity=hidden,
+        )
+
+    def test_re_prefer(self):
+        truth = self._truth(EgressClass.RE_PREFER)
+        assert expected_category(truth) is InferenceCategory.ALWAYS_RE
+
+    def test_commodity_prefer(self):
+        truth = self._truth(EgressClass.COMMODITY_PREFER)
+        assert expected_category(truth) is (
+            InferenceCategory.ALWAYS_COMMODITY
+        )
+
+    def test_equal_with_commodity(self):
+        truth = self._truth(EgressClass.EQUAL)
+        assert expected_category(truth) is InferenceCategory.SWITCH_TO_RE
+
+    def test_equal_without_commodity(self):
+        truth = self._truth(EgressClass.EQUAL, visible=False)
+        assert expected_category(truth) is InferenceCategory.ALWAYS_RE
+
+    def test_hidden_commodity_counts_as_egress(self):
+        truth = self._truth(EgressClass.EQUAL, visible=False, hidden=True)
+        assert expected_category(truth) is InferenceCategory.SWITCH_TO_RE
+
+
+class TestOperatorGroundTruth:
+    @pytest.fixture(scope="class")
+    def report(self, ecosystem, internet2_inference):
+        return operator_ground_truth(
+            ecosystem, internet2_inference, seed=5
+        )
+
+    def test_contact_and_response_counts(self, report):
+        assert report.contacted == 10
+        assert report.responses == 8
+
+    def test_nearly_all_confirmed(self, report):
+        """The paper: at least 32 of 33 inferences validated correct;
+        all 8 responding operators confirmed."""
+        assert report.confirmed >= report.responses - 1
+
+    def test_covers_spectrum(self, report):
+        classes = {
+            e.true_class for e in report.entries if e.responded
+        }
+        assert EgressClass.RE_PREFER in classes
+
+    def test_render(self, report):
+        text = report.render()
+        assert "contacted 10" in text
+        assert "no response" in text
+
+
+class TestTruthAccuracy:
+    def test_high_accuracy_per_class(self, ecosystem, internet2_inference):
+        accuracy = truth_accuracy(ecosystem, internet2_inference)
+        assert accuracy  # non-empty
+        assert accuracy[InferenceCategory.ALWAYS_RE.value] > 0.95
+        for value in accuracy.values():
+            assert value > 0.5
