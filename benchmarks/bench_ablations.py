@@ -26,7 +26,6 @@ from repro.experiment import ExperimentRunner, ExperimentSchedule
 from repro.netutil import Prefix
 from repro.rng import SeedTree
 from repro.seeds import select_seeds
-from repro.topology.re_config import EgressClass
 
 REVERSED_CONFIGS = (
     "0-4", "0-3", "0-2", "0-1", "0-0", "1-0", "2-0", "3-0", "4-0",

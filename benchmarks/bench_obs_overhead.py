@@ -1,0 +1,83 @@
+"""Guard: instrumentation must add <5% overhead to a fixpoint run.
+
+Compares event-driven convergence wall time with the default (enabled)
+metrics registry against a disabled registry handing out no-op
+instruments.  The engine flushes metrics once per run and the hot loop
+only touches plain locals, so the measured overhead should be far
+below the 5% budget; this benchmark keeps it that way.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``) or via
+pytest (``PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    PropagationEngine,
+    REEcosystemConfig,
+    SeedTree,
+    build_ecosystem,
+)
+from repro.obs import MetricsRegistry, use_registry
+
+#: Allowed instrumentation overhead, as a fraction of baseline.
+OVERHEAD_BUDGET = 0.05
+
+#: Alternating timed trials per variant; min-of-N rejects scheduler
+#: noise, alternation rejects thermal / cache drift.
+TRIALS = 7
+
+BENCH_SCALE = 0.1
+BENCH_SEED = 42
+
+
+def _one_convergence(ecosystem) -> float:
+    """Wall seconds for announce + run_to_fixpoint on a fresh engine."""
+    engine = PropagationEngine(ecosystem.topology, SeedTree(BENCH_SEED))
+    engine.announce(
+        ecosystem.commodity_origin, ecosystem.measurement_prefix,
+        tag="commodity",
+    )
+    start = time.perf_counter()
+    engine.run_to_fixpoint()
+    return time.perf_counter() - start
+
+
+def measure(ecosystem):
+    """(enabled_best, disabled_best) wall seconds, interleaved."""
+    enabled_times = []
+    disabled_times = []
+    # Warm-up, untimed: touch every code path once.
+    with use_registry(MetricsRegistry()):
+        _one_convergence(ecosystem)
+    with use_registry(MetricsRegistry(enabled=False)):
+        _one_convergence(ecosystem)
+    for _ in range(TRIALS):
+        with use_registry(MetricsRegistry()):
+            enabled_times.append(_one_convergence(ecosystem))
+        with use_registry(MetricsRegistry(enabled=False)):
+            disabled_times.append(_one_convergence(ecosystem))
+    return min(enabled_times), min(disabled_times)
+
+
+def test_obs_overhead_under_budget():
+    ecosystem = build_ecosystem(
+        REEcosystemConfig(scale=BENCH_SCALE), seed=BENCH_SEED
+    )
+    enabled, disabled = measure(ecosystem)
+    overhead = enabled / disabled - 1.0
+    print(
+        "\nobs overhead: enabled %.4fs  disabled %.4fs  overhead %+.2f%%"
+        % (enabled, disabled, 100.0 * overhead)
+    )
+    assert enabled <= disabled * (1.0 + OVERHEAD_BUDGET), (
+        "instrumentation overhead %.1f%% exceeds %.0f%% budget"
+        % (100.0 * overhead, 100.0 * OVERHEAD_BUDGET)
+    )
+
+
+if __name__ == "__main__":
+    test_obs_overhead_under_budget()
+    print("ok")

@@ -27,6 +27,14 @@ Quickest start::
 __version__ = "1.0.0"
 
 from .netutil import Prefix, format_address, parse_address
+from .obs import (
+    MetricsRegistry,
+    configure_logging,
+    get_logger,
+    get_registry,
+    span,
+    use_registry,
+)
 from .rng import SeedTree
 from .bgp import (
     ASPath,
@@ -94,5 +102,11 @@ __all__ = [
     "build_figure8",
     "PaperReproduction",
     "reproduce_paper",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
+    "span",
+    "get_logger",
+    "configure_logging",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import EngineError
 from ..netutil import Prefix
+from ..obs import get_logger, get_registry, span
 from ..rng import SeedTree
 from ..topology.graph import Topology
 from .attributes import Announcement, ASPath, Route
@@ -33,6 +34,12 @@ MEAN_EXTRA_DELAY = 1.5
 #: this indicates a policy dispute wheel (should not happen with
 #: Gao-Rexford-compliant policies).
 DEFAULT_MESSAGE_LIMIT = 2_000_000
+
+#: Fraction of the message limit at which the engine starts warning
+#: that a run is approaching the dispute-wheel cap.
+MESSAGE_LIMIT_WARN_RATIO = 0.8
+
+_log = get_logger("repro.engine")
 
 
 @dataclass(frozen=True)
@@ -59,10 +66,27 @@ class ConvergenceStats:
     best_changes: int = 0
     started_at: float = 0.0
     converged_at: float = 0.0
+    #: Messages enqueued during this run (deliveries trigger exports).
+    messages_sent: int = 0
+    #: Deepest the pending-message heap got during this run.
+    peak_heap_depth: int = 0
+    #: Wall-clock seconds the run took (simulated time is
+    #: ``duration``; this is real compute time).
+    wall_seconds: float = 0.0
+    #: The engine's message limit when the run executed.
+    message_limit: int = 0
 
     @property
     def duration(self) -> float:
         return max(0.0, self.converged_at - self.started_at)
+
+    @property
+    def limit_proximity(self) -> float:
+        """How close the run came to the dispute-wheel message cap,
+        as a 0..1 ratio (0.0 when no limit applies)."""
+        if self.message_limit <= 0:
+            return 0.0
+        return self.messages_delivered / self.message_limit
 
 
 @dataclass(order=True)
@@ -115,6 +139,11 @@ class PropagationEngine:
         self._down_links: Set[frozenset] = set()
         self._message_limit = message_limit
         self._announcements: Dict[Tuple[int, Prefix], Announcement] = {}
+        #: Stats of the most recent :meth:`run_to_fixpoint` (None until
+        #: the first run completes).
+        self.last_stats: Optional[ConvergenceStats] = None
+        self._messages_sent = 0
+        self._messages_sent_flushed = 0
 
     # ----- public control ------------------------------------------------
 
@@ -199,48 +228,101 @@ class PropagationEngine:
 
     def run_to_fixpoint(self) -> ConvergenceStats:
         """Deliver queued messages until the network is quiet."""
-        stats = ConvergenceStats(started_at=self.now)
+        stats = ConvergenceStats(
+            started_at=self.now, message_limit=self._message_limit
+        )
         delivered = 0
         changes = 0
-        while self._heap:
-            message = heapq.heappop(self._heap)
-            if message.deliver_at > self.now:
-                self.now = message.deliver_at
-            delivered += 1
-            if delivered > self._message_limit:
-                raise EngineError(
-                    "message limit exceeded: likely policy dispute wheel"
+        peak_depth = len(self._heap)
+        sent_before = self._messages_sent
+        with span("engine.run_to_fixpoint") as trace:
+            while self._heap:
+                depth = len(self._heap)
+                if depth > peak_depth:
+                    peak_depth = depth
+                message = heapq.heappop(self._heap)
+                if message.deliver_at > self.now:
+                    self.now = message.deliver_at
+                delivered += 1
+                if delivered > self._message_limit:
+                    raise EngineError(
+                        "message limit exceeded: likely policy dispute wheel"
+                    )
+                if self._link_is_down(message.sender, message.receiver):
+                    continue
+                receiver = self.router(message.receiver)
+                rel = self.topology.rel(message.receiver, message.sender)
+                path = message.path
+                if (
+                    path is not None
+                    and receiver.policy.enforce_rov
+                    and rov_drops_route(self.roa_table, message.prefix,
+                                        path.origin)
+                ):
+                    path = None  # RPKI-invalid: rejected on import (§2.3)
+                change = receiver.receive(
+                    neighbor_asn=message.sender,
+                    rel=rel,
+                    prefix=message.prefix,
+                    path=path,
+                    now=self.now,
+                    tag=message.tag,
                 )
-            if self._link_is_down(message.sender, message.receiver):
-                continue
-            receiver = self.router(message.receiver)
-            rel = self.topology.rel(message.receiver, message.sender)
-            path = message.path
-            if (
-                path is not None
-                and receiver.policy.enforce_rov
-                and rov_drops_route(self.roa_table, message.prefix,
-                                    path.origin)
-            ):
-                path = None  # RPKI-invalid: rejected on import (§2.3)
-            change = receiver.receive(
-                neighbor_asn=message.sender,
-                rel=rel,
-                prefix=message.prefix,
-                path=path,
-                now=self.now,
-                tag=message.tag,
-            )
-            if change.changed:
-                changes += 1
-                self._record_change(
-                    message.receiver, message.prefix, change.new
-                )
-                self._export_after_change(message.receiver, message.prefix)
+                if change.changed:
+                    changes += 1
+                    self._record_change(
+                        message.receiver, message.prefix, change.new
+                    )
+                    self._export_after_change(message.receiver, message.prefix)
         stats.messages_delivered = delivered
         stats.best_changes = changes
         stats.converged_at = self.now
+        stats.messages_sent = self._messages_sent - sent_before
+        stats.peak_heap_depth = peak_depth
+        stats.wall_seconds = trace.duration or 0.0
+        self.last_stats = stats
+        self._flush_metrics(stats)
         return stats
+
+    def _flush_metrics(self, stats: ConvergenceStats) -> None:
+        """Publish one run's counters in a single batch (the hot loop
+        above only touches plain locals)."""
+        registry = get_registry()
+        registry.counter("engine.runs").inc()
+        registry.counter("engine.messages_delivered").inc(
+            stats.messages_delivered
+        )
+        registry.counter("engine.best_changes").inc(stats.best_changes)
+        # Sends can happen outside run_to_fixpoint (announce/withdraw/
+        # link flaps queue messages); flush the delta since last time so
+        # the counter tracks session_message_counts exactly.
+        sent_delta = self._messages_sent - self._messages_sent_flushed
+        self._messages_sent_flushed = self._messages_sent
+        registry.counter("engine.messages_sent").inc(sent_delta)
+        registry.gauge("engine.heap_depth_peak").set(stats.peak_heap_depth)
+        registry.gauge("engine.message_limit_proximity").set(
+            stats.limit_proximity
+        )
+        registry.histogram("engine.convergence_sim_seconds").observe(
+            stats.duration
+        )
+        if stats.limit_proximity >= MESSAGE_LIMIT_WARN_RATIO:
+            _log.warning(
+                "convergence run approaching message limit",
+                delivered=stats.messages_delivered,
+                limit=self._message_limit,
+                proximity=round(stats.limit_proximity, 3),
+            )
+        if _log.is_enabled_for("debug"):
+            _log.debug(
+                "fixpoint reached",
+                delivered=stats.messages_delivered,
+                sent=stats.messages_sent,
+                best_changes=stats.best_changes,
+                sim_duration=round(stats.duration, 3),
+                wall_seconds=round(stats.wall_seconds, 6),
+                peak_heap_depth=stats.peak_heap_depth,
+            )
 
     def advance_to(self, when: float) -> None:
         """Move the engine clock forward (between experiment rounds)."""
@@ -338,6 +420,7 @@ class PropagationEngine:
         self.session_message_counts[session] = (
             self.session_message_counts.get(session, 0) + 1
         )
+        self._messages_sent += 1
         self._seq += 1
         heapq.heappush(
             self._heap,

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from ..errors import EngineError
 from ..netutil import Prefix
+from ..obs import get_logger, get_registry, span
 from ..topology.graph import Topology
 from .attributes import Announcement, ASPath, Route
 from .policy import may_export
@@ -28,6 +29,8 @@ from .router import LOCAL_ROUTE_LOCALPREF
 from .rpki import rov_drops_route
 
 _MAX_ROUNDS_FACTOR = 40
+
+_log = get_logger("repro.fastpath")
 
 
 @dataclass
@@ -74,6 +77,10 @@ def propagate_fastpath(
 
     result = FastpathResult(prefix=the_prefix)
     processes = {}
+    # Decision-process cache accounting: [hits, misses], mutated by
+    # _deliver (a list keeps the hot path to one index increment).
+    cache_stats = [0, 0]
+    compactions = 0
     pending: List[int] = []
     pending_set: Set[int] = set()
 
@@ -103,30 +110,48 @@ def propagate_fastpath(
     max_rounds = max(1, len(topology)) * _MAX_ROUNDS_FACTOR
     iterations = 0
     cursor = 0
-    while cursor < len(pending):
-        asn = pending[cursor]
-        cursor += 1
-        pending_set.discard(asn)
-        iterations += 1
-        if iterations > max_rounds + len(pending):
-            raise EngineError("fastpath failed to converge")
-        best = result.best.get(asn)
-        node = topology.node(asn)
-        for neighbor in sorted(topology.neighbors(asn)):
-            offered = _exported_route(
-                topology, asn, neighbor, best,
-                origin_announcements.get(asn),
-            )
-            changed = _deliver(
-                topology, result, processes, asn, neighbor, offered,
-                roa_table,
-            )
-            if changed:
-                enqueue(neighbor)
-        if cursor > len(topology) * _MAX_ROUNDS_FACTOR:
-            # Compact the queue so memory stays bounded on big runs.
-            pending = pending[cursor:]
-            cursor = 0
+    with span("fastpath.propagate"):
+        while cursor < len(pending):
+            asn = pending[cursor]
+            cursor += 1
+            pending_set.discard(asn)
+            iterations += 1
+            if iterations > max_rounds + len(pending):
+                raise EngineError("fastpath failed to converge")
+            best = result.best.get(asn)
+            for neighbor in sorted(topology.neighbors(asn)):
+                offered = _exported_route(
+                    topology, asn, neighbor, best,
+                    origin_announcements.get(asn),
+                )
+                changed = _deliver(
+                    topology, result, processes, asn, neighbor, offered,
+                    roa_table, cache_stats,
+                )
+                if changed:
+                    enqueue(neighbor)
+            if cursor > len(topology) * _MAX_ROUNDS_FACTOR:
+                # Compact the queue so memory stays bounded on big runs.
+                pending = pending[cursor:]
+                cursor = 0
+                compactions += 1
+
+    registry = get_registry()
+    registry.counter("fastpath.prefixes_computed").inc()
+    registry.counter("fastpath.iterations").inc(iterations)
+    registry.counter("fastpath.decision_cache_hits").inc(cache_stats[0])
+    registry.counter("fastpath.decision_cache_misses").inc(cache_stats[1])
+    registry.counter("fastpath.queue_compactions").inc(compactions)
+    registry.gauge("fastpath.ases_with_route").set(len(result.best))
+    if _log.is_enabled_for("debug"):
+        _log.debug(
+            "fastpath converged",
+            prefix=str(the_prefix),
+            iterations=iterations,
+            ases_with_route=len(result.best),
+            cache_hits=cache_stats[0],
+            cache_misses=cache_stats[1],
+        )
     return result
 
 
@@ -197,6 +222,7 @@ def _deliver(
     receiver: int,
     offered: Optional[Route],
     roa_table=None,
+    cache_stats: Optional[List[int]] = None,
 ) -> bool:
     """Install *offered* (or its absence) at *receiver*; return True if
     the receiver's best route changed."""
@@ -233,6 +259,10 @@ def _deliver(
     if process is None:
         process = node.policy.decision_process()
         processes[receiver] = process
+        if cache_stats is not None:
+            cache_stats[1] += 1
+    elif cache_stats is not None:
+        cache_stats[0] += 1
     candidates: List[Route] = [rib[key] for key in sorted(rib)]
     old = result.best.get(receiver)
     if old is not None and old.learned_from is None:

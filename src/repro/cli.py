@@ -28,6 +28,7 @@ from .dataio.json_results import (
     load_experiment_records_file,
     signals_from_records,
 )
+from .obs import configure_logging, get_registry
 from .rng import SeedTree
 from .seeds import select_seeds
 from .topology.re_config import REEcosystemConfig
@@ -61,6 +62,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figures", action="store_true",
         help="also render Figures 3/5/8 as terminal plots",
     )
+    reproduce.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        help="emit structured logs on stderr at this level "
+             "(default: silent)",
+    )
+    reproduce.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of key=value",
+    )
+    reproduce.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot (engine/prober/runner "
+             "counters and span histograms) after the run",
+    )
 
     classify = sub.add_parser(
         "classify", help="classify prefixes from a JSONL results file"
@@ -82,6 +97,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_reproduce(args) -> int:
+    if args.log_level:
+        configure_logging(level=args.log_level, json_lines=args.log_json)
+    if args.metrics_out:
+        # Fail on an unwritable path now, not after the full run.
+        try:
+            with open(args.metrics_out, "a", encoding="utf-8"):
+                pass
+        except OSError as error:
+            print("cannot write metrics snapshot: %s" % error,
+                  file=sys.stderr)
+            return 2
     report = reproduce_paper(
         REEcosystemConfig(scale=args.scale), seed=args.seed
     )
@@ -116,6 +142,11 @@ def _cmd_reproduce(args) -> int:
             with open(updates_path, "w", encoding="utf-8") as stream:
                 count = dump_update_log(result.update_log, stream)
             print("wrote %d records to %s" % (count, updates_path))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(get_registry().to_json())
+            stream.write("\n")
+        print("wrote metrics snapshot to %s" % args.metrics_out)
     return 0
 
 

@@ -13,6 +13,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..bgp.engine import UpdateEvent
 from ..netutil import Prefix
+from ..obs import get_logger, get_registry
+
+_log = get_logger("repro.collector")
 
 
 @dataclass(frozen=True)
@@ -40,7 +43,9 @@ class Collector:
         """Convert engine best-change events from feeder ASes into
         collector updates; returns how many were recorded."""
         added = 0
+        consumed = 0
         for event in update_log:
+            consumed += 1
             weight = self.sessions.get(event.asn)
             if not weight:
                 continue
@@ -60,6 +65,16 @@ class Collector:
             )
             added += 1
         self.updates.sort(key=lambda u: u.time)
+        registry = get_registry()
+        registry.counter("collector.events_consumed").inc(consumed)
+        registry.counter("collector.updates_recorded").inc(added)
+        if _log.is_enabled_for("debug"):
+            _log.debug(
+                "ingested update log",
+                collector=self.name,
+                events=consumed,
+                recorded=added,
+            )
         return added
 
     def message_count(

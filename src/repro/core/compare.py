@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
-from ..netutil import Prefix
 from .classify import ExperimentInference, InferenceCategory
 
 _COMPARABLE = (

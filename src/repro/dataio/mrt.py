@@ -23,7 +23,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..bgp.attributes import ASPath, Route
+from ..bgp.attributes import ASPath
 from ..bgp.engine import UpdateEvent
 from ..errors import DataIOError
 from ..netutil import Prefix

@@ -52,11 +52,26 @@ class ExperimentResult:
         default_factory=dict
     )
     convergence: List[ConvergenceStats] = field(default_factory=list)
+    #: Per probing round: the convergence stats of every fixpoint run
+    #: that round triggered (its configuration change plus any outages
+    #: fired after it).  ``round_convergence[i]`` pairs with
+    #: ``rounds[i]``; entries also appear in ``convergence``.
+    round_convergence: List[List[ConvergenceStats]] = field(
+        default_factory=list
+    )
     outages_applied: List[OutageRecord] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
         return len(self.rounds)
+
+    def round_messages_delivered(self, index: int) -> int:
+        """BGP messages delivered converging round *index*'s
+        configuration change (the engine-side churn behind Figure 3)."""
+        return sum(
+            stats.messages_delivered
+            for stats in self.round_convergence[index]
+        )
 
     def probed_prefixes(self) -> List[Prefix]:
         return self.seed_plan.responsive_prefixes()

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..bgp.engine import PropagationEngine, UpdateEvent
 from ..errors import ExperimentError
+from ..obs import get_logger, get_registry, span
 from ..probing.forwarding import engine_rib
 from ..probing.host import MeasurementHost
 from ..probing.prober import Prober
@@ -33,6 +34,14 @@ from ..topology.re_config import SystemPlan
 from ..topology.re_ecosystem import Ecosystem
 from .records import ExperimentResult, FeederObservation, OutageRecord
 from .schedule import ExperimentSchedule
+
+_log = get_logger("repro.runner")
+
+#: Histogram buckets for per-round BGP message counts (churn, not
+#: seconds — Figure 3's x-axis in engine terms).
+_MESSAGE_BUCKETS = (
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+)
 
 
 class ExperimentRunner:
@@ -97,17 +106,20 @@ class ExperimentRunner:
         )
         engine.advance_to(schedule.commodity_lead_seconds)
 
-        # Phase 1: R&E announcement at the first configuration.
+        # Phase 1: R&E announcement at the first configuration.  These
+        # runs converge round 0's configuration, so they seed its
+        # per-round stats.
         configs = schedule.parsed_configs()
+        round_stats = []
         first_re, first_comm = configs[0]
         if first_comm != 0:
-            result.convergence.append(
-                self._announce(engine, commodity_origin, first_comm,
-                               "commodity", result)
-            )
-        result.convergence.append(
-            self._announce(engine, re_origin, first_re, "re", result)
-        )
+            stats = self._announce(engine, commodity_origin, first_comm,
+                                   "commodity", result)
+            result.convergence.append(stats)
+            round_stats.append(stats)
+        stats = self._announce(engine, re_origin, first_re, "re", result)
+        result.convergence.append(stats)
+        round_stats.append(stats)
         result.config_change_times.append(
             (engine.now, schedule.configs[0])
         )
@@ -115,55 +127,72 @@ class ExperimentRunner:
 
         previous = configs[0]
         for index, config_label in enumerate(schedule.configs):
-            re_p, comm_p = configs[index]
-            if index > 0:
-                # Re-announce only the changed side (§3.3 ordering); the
-                # change is stamped before convergence so Figure 3's
-                # phase boundaries attribute the resulting churn to the
-                # configuration that caused it.
-                change_time = engine.now
-                result.config_change_times.append(
-                    (change_time, config_label)
+            with span("runner.round.%s" % config_label):
+                re_p, comm_p = configs[index]
+                if index > 0:
+                    round_stats = []
+                    # Re-announce only the changed side (§3.3 ordering);
+                    # the change is stamped before convergence so Figure
+                    # 3's phase boundaries attribute the resulting churn
+                    # to the configuration that caused it.
+                    change_time = engine.now
+                    result.config_change_times.append(
+                        (change_time, config_label)
+                    )
+                    if re_p != previous[0]:
+                        stats = self._announce(engine, re_origin, re_p,
+                                               "re", result)
+                        result.convergence.append(stats)
+                        round_stats.append(stats)
+                    if comm_p != previous[1]:
+                        stats = self._announce(engine, commodity_origin,
+                                               comm_p, "commodity", result)
+                        result.convergence.append(stats)
+                        round_stats.append(stats)
+                    next_probe_at = change_time + schedule.soak_seconds
+                previous = (re_p, comm_p)
+
+                # Residual churn trails each reconfiguration; keep it
+                # clear of the probing window (the paper saw activity
+                # settled for at least ~50 minutes before each round).
+                flap_end = engine.now + 0.25 * (next_probe_at - engine.now)
+                self._background_flaps(
+                    engine, flap_rng, engine.now, flap_end, result
                 )
-                if re_p != previous[0]:
-                    result.convergence.append(
-                        self._announce(engine, re_origin, re_p, "re", result)
-                    )
-                if comm_p != previous[1]:
-                    result.convergence.append(
-                        self._announce(engine, commodity_origin, comm_p,
-                                       "commodity", result)
-                    )
-                next_probe_at = change_time + schedule.soak_seconds
-            previous = (re_p, comm_p)
+                engine.advance_to(next_probe_at)
 
-            # Residual churn trails each reconfiguration; keep it clear
-            # of the probing window (the paper saw activity settled for
-            # at least ~50 minutes before each round).
-            flap_end = engine.now + 0.25 * (next_probe_at - engine.now)
-            self._background_flaps(
-                engine, flap_rng, engine.now, flap_end, result
-            )
-            engine.advance_to(next_probe_at)
-
-            round_rng = self.tree.child("round-%d" % index).rng()
-            round_result = prober.probe_round(
-                config_label,
-                self.seed_plan.targets,
-                rib,
-                round_rng,
-                engine.now,
-            )
-            result.rounds.append(round_result)
-            result.round_times.append(
-                (round_result.started_at,
-                 round_result.started_at + round_result.duration)
-            )
-            engine.advance_to(round_result.started_at + round_result.duration)
-            self._capture_feeder_views(engine, index, config_label, result)
-            self._apply_outages(engine, index, result)
+                round_rng = self.tree.child("round-%d" % index).rng()
+                round_result = prober.probe_round(
+                    config_label,
+                    self.seed_plan.targets,
+                    rib,
+                    round_rng,
+                    engine.now,
+                )
+                result.rounds.append(round_result)
+                result.round_times.append(
+                    (round_result.started_at,
+                     round_result.started_at + round_result.duration)
+                )
+                engine.advance_to(
+                    round_result.started_at + round_result.duration
+                )
+                self._capture_feeder_views(engine, index, config_label,
+                                           result)
+                round_stats.extend(
+                    self._apply_outages(engine, index, result)
+                )
+                result.round_convergence.append(round_stats)
+            self._flush_round_metrics(index, config_label, result)
 
         result.update_log = list(engine.update_log)
+        _log.info(
+            "experiment complete",
+            experiment=self.experiment,
+            rounds=len(result.rounds),
+            updates=len(result.update_log),
+            outages=len(result.outages_applied),
+        )
         return result
 
     # ----- helpers ------------------------------------------------------
@@ -194,24 +223,64 @@ class ExperimentRunner:
     def _apply_outages(
         self, engine: PropagationEngine, round_index: int,
         result: ExperimentResult,
-    ) -> None:
+    ):
+        """Fire scheduled outages after *round_index*; returns the
+        convergence stats of the runs they triggered."""
+        stats_list = []
         for outage in self.ecosystem.outages:
             if outage.experiment != self.experiment:
                 continue
             if outage.down_after_round == round_index:
                 engine.set_link_down(outage.a, outage.b)
-                engine.run_to_fixpoint()
+                stats_list.append(engine.run_to_fixpoint())
+                result.convergence.append(stats_list[-1])
                 result.outages_applied.append(
                     OutageRecord(round_index, "down", outage.a, outage.b,
                                  outage.victim_asn)
                 )
+                self._note_outage(round_index, "down", outage)
             if outage.up_after_round == round_index:
                 engine.set_link_up(outage.a, outage.b)
-                engine.run_to_fixpoint()
+                stats_list.append(engine.run_to_fixpoint())
+                result.convergence.append(stats_list[-1])
                 result.outages_applied.append(
                     OutageRecord(round_index, "up", outage.a, outage.b,
                                  outage.victim_asn)
                 )
+                self._note_outage(round_index, "up", outage)
+        return stats_list
+
+    def _note_outage(self, round_index: int, action: str, outage) -> None:
+        get_registry().counter("runner.outages_applied").inc()
+        _log.info(
+            "outage %s applied" % action,
+            experiment=self.experiment,
+            round=round_index,
+            link="%d-%d" % (outage.a, outage.b),
+            victim_asn=outage.victim_asn,
+        )
+
+    def _flush_round_metrics(
+        self, index: int, config_label: str, result: ExperimentResult
+    ) -> None:
+        """Publish one round's counters after its span closes."""
+        messages = result.round_messages_delivered(index)
+        registry = get_registry()
+        registry.counter("runner.rounds_completed").inc()
+        registry.histogram(
+            "runner.round_messages", _MESSAGE_BUCKETS
+        ).observe(messages)
+        if _log.is_enabled_for("info"):
+            round_result = result.rounds[index]
+            _log.info(
+                "round complete",
+                experiment=self.experiment,
+                round=index,
+                config=config_label,
+                messages=messages,
+                probes=round_result.probe_count(),
+                responses=round_result.response_count(),
+            )
 
     def _capture_feeder_views(
         self,

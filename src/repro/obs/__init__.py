@@ -1,0 +1,47 @@
+"""repro.obs — observability: metrics, timing spans, structured logs.
+
+Zero-dependency instrumentation for the engine → runner → CLI stack:
+
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms in a thread-safe registry (process singleton plus
+  isolated registries for tests) with JSON snapshot export;
+- :mod:`repro.obs.spans` — ``with span("engine.run_to_fixpoint"):``
+  wall-time histograms that nest into a lightweight trace tree;
+- :mod:`repro.obs.logging` — ``get_logger(name)`` emitting key=value
+  or JSON lines on stderr, silent until configured.
+
+Everything is off-by-default and adds near-zero overhead when idle:
+hot paths accumulate into locals and flush per convergence run or per
+probing round (guarded by ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from .logging import configure as configure_logging
+from .logging import get_logger, reset as reset_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import SpanRecord, current_span, finished_roots, reset_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "SpanRecord",
+    "span",
+    "current_span",
+    "finished_roots",
+    "reset_trace",
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+]

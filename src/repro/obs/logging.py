@@ -1,0 +1,135 @@
+"""Structured logging: key=value or JSON lines, silent by default.
+
+``get_logger(name)`` is free to call at import time; loggers consult
+the module-wide configuration on every emit, so :func:`configure`
+(typically from the CLI's ``--log-level`` / ``--log-json`` flags)
+takes effect everywhere at once.  Until it is called nothing is
+emitted — tier-1 test output and the default CLI stdout are
+byte-identical with logging compiled in.
+
+Lines go to *stderr* (or any configured stream), never stdout, so
+machine-readable report output stays clean even with logging on::
+
+    log = get_logger("repro.engine")
+    log.info("converged", messages=1234, duration=5.6)
+    # ts=1754... level=info logger=repro.engine msg=converged \
+    #   messages=1234 duration=5.6
+
+With ``json_lines=True`` each line is one JSON object with the same
+fields.  ``logger.bind(experiment="surf")`` returns a child carrying
+context fields on every line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, Optional, TextIO
+
+__all__ = ["configure", "reset", "get_logger", "Logger", "LEVELS"]
+
+LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+    "off": 100,
+}
+
+_lock = threading.Lock()
+_config = {
+    "threshold": LEVELS["off"],   # silent by default
+    "json": False,
+    "stream": None,               # None -> sys.stderr at emit time
+}
+
+
+def configure(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Enable logging at *level* ("debug"/"info"/"warning"/"error",
+    or "off" to silence again)."""
+    try:
+        threshold = LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            "unknown log level %r (expected one of %s)"
+            % (level, ", ".join(sorted(LEVELS)))
+        ) from None
+    with _lock:
+        _config["threshold"] = threshold
+        _config["json"] = bool(json_lines)
+        _config["stream"] = stream
+
+
+def reset() -> None:
+    """Back to the silent default (used by tests)."""
+    with _lock:
+        _config["threshold"] = LEVELS["off"]
+        _config["json"] = False
+        _config["stream"] = None
+
+
+def _format_kv_value(value) -> str:
+    text = "%s" % (value,)
+    if any(ch in text for ch in (" ", "=", '"')) or text == "":
+        return json.dumps(text)
+    return text
+
+
+class Logger:
+    """A named logger; cheap to construct, configuration-free."""
+
+    __slots__ = ("name", "_context")
+
+    def __init__(self, name: str, context: Optional[dict] = None) -> None:
+        self.name = name
+        self._context = dict(context or {})
+
+    def bind(self, **fields) -> "Logger":
+        """A child logger carrying *fields* on every line."""
+        merged = dict(self._context)
+        merged.update(fields)
+        return Logger(self.name, merged)
+
+    def is_enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= _config["threshold"]
+
+    def _emit(self, level: str, message: str, fields: dict) -> None:
+        if LEVELS[level] < _config["threshold"]:
+            return
+        record = {"ts": round(time.time(), 3), "level": level,
+                  "logger": self.name, "msg": message}
+        record.update(self._context)
+        record.update(fields)
+        if _config["json"]:
+            line = json.dumps(record, sort_keys=False, default=str)
+        else:
+            line = " ".join(
+                "%s=%s" % (key, _format_kv_value(value))
+                for key, value in record.items()
+            )
+        stream = _config["stream"] or sys.stderr
+        with _lock:
+            stream.write(line + "\n")
+
+    def debug(self, message: str, **fields) -> None:
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._emit("info", message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._emit("warning", message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._emit("error", message, fields)
+
+
+def get_logger(name: str) -> Logger:
+    """A logger named *name* (conventionally the module path)."""
+    return Logger(name)

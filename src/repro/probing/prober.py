@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import ExperimentError
 from ..netutil import Prefix
+from ..obs import get_logger, get_registry, span
 from ..topology.graph import Topology
 from ..topology.re_config import SystemPlan
 from ..seeds.selection import ProbeTarget
@@ -21,6 +22,8 @@ from .forwarding import ForwardingOutcome, walk_return_path
 from .host import MeasurementHost
 
 DEFAULT_PPS = 100
+
+_log = get_logger("repro.prober")
 
 
 @dataclass
@@ -97,17 +100,40 @@ class Prober:
         origin_set = set(self.host.origin_asns())
         tx = now
         interval = 1.0 / self.pps
-        for prefix in sorted(
-            targets_by_prefix, key=lambda p: (p.network, p.length)
-        ):
-            for target in targets_by_prefix[prefix]:
-                response = self._probe_one(
-                    target, best_route_of, origin_set, rng, tx
-                )
-                result.responses.setdefault(prefix, []).append(response)
-                tx += interval
+        with span("prober.round"):
+            for prefix in sorted(
+                targets_by_prefix, key=lambda p: (p.network, p.length)
+            ):
+                for target in targets_by_prefix[prefix]:
+                    response = self._probe_one(
+                        target, best_route_of, origin_set, rng, tx
+                    )
+                    result.responses.setdefault(prefix, []).append(response)
+                    tx += interval
         result.duration = tx - now
+        self._flush_metrics(result)
         return result
+
+    def _flush_metrics(self, result: RoundResult) -> None:
+        """Publish one round's counters in a single batch."""
+        probes = result.probe_count()
+        responses = result.response_count()
+        registry = get_registry()
+        registry.counter("prober.rounds").inc()
+        registry.counter("prober.probes_sent").inc(probes)
+        registry.counter("prober.responses").inc(responses)
+        registry.histogram(
+            "prober.round_sim_seconds",
+        ).observe(result.duration)
+        if _log.is_enabled_for("debug"):
+            _log.debug(
+                "probe round complete",
+                config=result.config,
+                probes=probes,
+                responses=responses,
+                loss=round(1.0 - responses / probes, 4) if probes else 0.0,
+                sim_duration=round(result.duration, 3),
+            )
 
     def _probe_one(
         self,

@@ -16,7 +16,6 @@ Well-known ASNs from the paper are used where applicable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..netutil import Prefix

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.bgp.engine import PropagationEngine
-from repro.bgp.policy import Rel
 from repro.errors import EngineError
 from repro.netutil import Prefix
 from repro.rng import SeedTree
-from repro.topology.graph import ASClass, Topology
+from repro.topology.graph import Topology
 
 PFX = Prefix.parse("192.0.2.0/24")
 

@@ -6,7 +6,6 @@ from repro.bgp.rfd import (
     HALF_LIFE_SECONDS,
     MAX_SUPPRESS_SECONDS,
     PENALTY_PER_FLAP,
-    SUPPRESS_THRESHOLD,
     RouteFlapDamper,
     min_safe_spacing,
 )

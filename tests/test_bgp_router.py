@@ -1,7 +1,5 @@
 """Tests for per-AS router state."""
 
-import pytest
-
 from repro.bgp.attributes import ASPath
 from repro.bgp.policy import Rel, RoutingPolicy
 from repro.bgp.router import LOCAL_ROUTE_LOCALPREF, Router

@@ -1,8 +1,6 @@
 """Tests for the collector substrate: update ingestion, RIB snapshots,
 and the churn report."""
 
-import pytest
-
 from repro.bgp.engine import UpdateEvent
 from repro.bgp.attributes import ASPath, Route
 from repro.collectors import Collector, build_churn_report, build_collector_rib

@@ -55,11 +55,7 @@ class TestExperimentJSON:
         self, dumped, internet2_result, internet2_inference
     ):
         """Classification re-run from serialized data must agree."""
-        from repro.core.classify import (
-            InferenceCategory,
-            RoundSignal,
-            classify_signals,
-        )
+        from repro.core.classify import RoundSignal, classify_signals
 
         text, _ = dumped
         records = list(load_experiment_records(io.StringIO(text)))

@@ -1,8 +1,6 @@
 """End-to-end integration tests: the full reproduction must show the
 paper's qualitative findings at test scale."""
 
-import pytest
-
 from repro.core.classify import InferenceCategory
 from repro.core.report import reproduce_paper
 from repro.topology.re_config import REEcosystemConfig
@@ -74,8 +72,6 @@ class TestHeadlineFindings:
 
     def test_mixed_prefix_ratio(self, reproduction):
         """Mixed prefixes show ~2:1 R&E:commodity systems overall."""
-        from repro.core.classify import RoundSignal
-
         result = reproduction.internet2_result
         re_count = 0
         comm_count = 0

@@ -8,7 +8,6 @@ from repro.core.lg_validation import build_lg_validation, check_gao_rexford
 from repro.errors import AnalysisError
 from repro.netutil import Prefix
 from repro.rng import SeedTree
-from repro.topology.re_config import EgressClass
 from repro.topology.scenarios import build_niks_scenario
 
 MEAS = Prefix.parse("163.253.63.0/24")

@@ -1,7 +1,5 @@
 """Tests for the binary MRT encoder/decoder."""
 
-import struct
-
 import pytest
 from hypothesis import given, strategies as st
 

@@ -1,0 +1,348 @@
+"""Tests for repro.obs: metrics registry, spans, structured logging,
+and the engine/runner/CLI instrumentation built on them."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import (
+    PropagationEngine,
+    REEcosystemConfig,
+    SeedTree,
+    build_ecosystem,
+)
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    configure_logging,
+    finished_roots,
+    get_logger,
+    get_registry,
+    reset_logging,
+    reset_trace,
+    span,
+    use_registry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Logging silent and trace buffer empty around every test."""
+    reset_logging()
+    reset_trace()
+    yield
+    reset_logging()
+    reset_trace()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        data = hist.as_dict()
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(106.5)
+        assert data["min"] == 0.5
+        assert data["max"] == 100.0
+        # bounds are inclusive upper bounds; 1.0 lands in the first.
+        assert data["buckets"] == [[1.0, 2], [10.0, 1], ["+Inf", 1]]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(5)
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("x.count").inc(3)
+        registry.gauge("x.depth").set(7)
+        registry.histogram("x.seconds", bounds=(1.0,)).observe(0.5)
+        data = MetricsRegistry.from_snapshot_json(registry.to_json())
+        assert data["counters"]["x.count"] == 3
+        assert data["gauges"]["x.depth"] == 7
+        assert data["histograms"]["x.seconds"]["count"] == 1
+
+    def test_from_snapshot_json_rejects_other_documents(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot_json('{"not": "a snapshot"}')
+
+    def test_use_registry_isolates_and_restores(self):
+        before = get_registry()
+        with use_registry() as registry:
+            assert get_registry() is registry
+            assert registry is not before
+            registry.counter("only.here").inc()
+        assert get_registry() is before
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestSpans:
+    def test_records_histogram_in_active_registry(self):
+        with use_registry() as registry:
+            with span("unit.work"):
+                pass
+            hist = registry.histogram("span.unit.work.seconds")
+            assert hist.count == 1
+            assert hist.sum >= 0.0
+
+    def test_nesting_builds_trace_tree(self):
+        with use_registry():
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        roots = finished_roots()
+        assert [r.name for r in roots][-1] == "outer"
+        outer = roots[-1]
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.duration >= sum(c.duration for c in outer.children)
+        tree = outer.as_dict()
+        assert tree["name"] == "outer"
+        assert len(tree["children"]) == 2
+
+    def test_decorator_form(self):
+        with use_registry() as registry:
+            @span("unit.decorated")
+            def work(x):
+                return x * 2
+
+            assert work(21) == 42
+            assert registry.histogram("span.unit.decorated.seconds").count == 1
+
+    def test_exception_still_records(self):
+        with use_registry() as registry:
+            with pytest.raises(RuntimeError):
+                with span("unit.fails"):
+                    raise RuntimeError("boom")
+            assert registry.histogram("span.unit.fails.seconds").count == 1
+
+    def test_reset_trace_drops_roots(self):
+        with use_registry():
+            with span("gone"):
+                pass
+        reset_trace()
+        assert finished_roots() == []
+
+
+class TestLogging:
+    def test_silent_by_default(self, capsys):
+        get_logger("repro.test").info("should not appear", x=1)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_kv_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("repro.test").info("hello world", count=3)
+        line = stream.getvalue().strip()
+        assert 'msg="hello world"' in line
+        assert "logger=repro.test" in line
+        assert "count=3" in line
+        assert "level=info" in line
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_lines=True, stream=stream)
+        get_logger("repro.test").debug("hi", a=1, b="two")
+        record = json.loads(stream.getvalue())
+        assert record["msg"] == "hi"
+        assert record["a"] == 1
+        assert record["b"] == "two"
+        assert record["level"] == "debug"
+
+    def test_level_threshold_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        logger = get_logger("repro.test")
+        logger.info("dropped")
+        logger.warning("kept")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert "kept" in lines[0]
+        assert logger.is_enabled_for("error")
+        assert not logger.is_enabled_for("debug")
+
+    def test_bind_adds_context_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("repro.test").bind(experiment="surf").info("go")
+        assert "experiment=surf" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="verbose")
+
+
+class TestEngineInstrumentation:
+    @pytest.fixture(scope="class")
+    def small_ecosystem(self):
+        return build_ecosystem(REEcosystemConfig(scale=0.04), seed=7)
+
+    def test_messages_sent_matches_session_counts(self, small_ecosystem):
+        eco = small_ecosystem
+        with use_registry() as registry:
+            engine = PropagationEngine(eco.topology, SeedTree(7))
+            engine.announce(eco.commodity_origin, eco.measurement_prefix,
+                            tag="commodity")
+            engine.run_to_fixpoint()
+            engine.announce(eco.re_origin_for("surf"),
+                            eco.measurement_prefix, tag="re",
+                            default_prepends=2)
+            engine.run_to_fixpoint()
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.messages_sent"] == sum(
+            engine.session_message_counts.values()
+        )
+        assert snapshot["counters"]["engine.runs"] == 2
+        assert snapshot["counters"]["engine.messages_delivered"] > 0
+
+    def test_last_stats_retained(self, small_ecosystem):
+        eco = small_ecosystem
+        with use_registry():
+            engine = PropagationEngine(eco.topology, SeedTree(7))
+            assert engine.last_stats is None
+            engine.announce(eco.commodity_origin, eco.measurement_prefix,
+                            tag="commodity")
+            stats = engine.run_to_fixpoint()
+        assert engine.last_stats is stats
+        assert stats.peak_heap_depth > 0
+        assert stats.messages_sent > 0
+        assert stats.wall_seconds > 0
+        assert 0.0 < stats.limit_proximity < 1.0
+
+    def test_convergence_duration_histogram(self, small_ecosystem):
+        eco = small_ecosystem
+        with use_registry() as registry:
+            engine = PropagationEngine(eco.topology, SeedTree(7))
+            engine.announce(eco.commodity_origin, eco.measurement_prefix,
+                            tag="commodity")
+            engine.run_to_fixpoint()
+            hist = registry.histogram("engine.convergence_sim_seconds")
+            assert hist.count == 1
+            assert hist.sum == pytest.approx(engine.last_stats.duration)
+
+
+class TestRunnerInstrumentation:
+    def test_per_round_convergence_exposed(self, internet2_result):
+        result = internet2_result
+        assert len(result.round_convergence) == result.num_rounds
+        # Round 0 converges the initial R&E announcement.
+        assert result.round_messages_delivered(0) > 0
+        for per_round in result.round_convergence:
+            for stats in per_round:
+                assert stats in result.convergence
+
+    def test_outage_stats_retained(self, internet2_result):
+        result = internet2_result
+        if not result.outages_applied:
+            pytest.skip("no outages scheduled in this ecosystem")
+        # Outage-triggered runs are folded into their round's stats:
+        # those rounds have more entries than announce alone produces.
+        outage_rounds = {o.round_index for o in result.outages_applied}
+        for index in outage_rounds:
+            assert len(result.round_convergence[index]) >= 2
+
+
+class TestMetricsSnapshotIntegration:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("obs") / "metrics.json"
+        with use_registry():
+            code = main([
+                "reproduce", "--scale", "0.04", "--seed", "5",
+                "--metrics-out", str(out),
+            ])
+            assert code == 0
+        with open(out, "r", encoding="utf-8") as stream:
+            return MetricsRegistry.from_snapshot_json(stream.read())
+
+    def test_engine_prober_runner_metrics_present(self, snapshot):
+        counters = snapshot["counters"]
+        assert counters["engine.messages_delivered"] > 0
+        assert counters["engine.messages_sent"] > 0
+        assert counters["prober.probes_sent"] > 0
+        assert counters["prober.responses"] > 0
+        assert counters["collector.events_consumed"] > 0
+        # Two experiments x nine prepend configurations.
+        assert counters["runner.rounds_completed"] == 18
+
+    def test_span_histograms_cover_all_nine_rounds(self, snapshot):
+        histograms = snapshot["histograms"]
+        configs = ("4-0", "3-0", "2-0", "1-0", "0-0",
+                   "0-1", "0-2", "0-3", "0-4")
+        for config in configs:
+            name = "span.runner.round.%s.seconds" % config
+            assert name in histograms, name
+            assert histograms[name]["count"] == 2  # surf + internet2
+        assert "span.engine.run_to_fixpoint.seconds" in histograms
+
+    def test_gauges_present(self, snapshot):
+        gauges = snapshot["gauges"]
+        assert gauges["engine.heap_depth_peak"] > 0
+        assert 0.0 <= gauges["engine.message_limit_proximity"] < 1.0
+
+
+class TestCliFlagDefaults:
+    def test_default_output_has_no_metrics_or_logs(self, capsys, tmp_path):
+        # No flags: nothing on stderr, no snapshot line on stdout.
+        assert main([
+            "reproduce", "--scale", "0.04", "--seed", "5",
+            "--export", str(tmp_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "metrics snapshot" not in captured.out
+        assert "log" not in captured.err
+        assert {
+            "surf_probes.jsonl", "internet2_probes.jsonl",
+        } <= set(os.listdir(tmp_path))

@@ -17,7 +17,7 @@ from repro.topology.asns import (
     AS_SURF,
     AS_SURF_ORIGIN,
 )
-from repro.topology.graph import ASClass, MemberSide
+from repro.topology.graph import MemberSide
 from repro.topology.re_config import EgressClass, PrefixKind, PrependClass
 
 

@@ -1,7 +1,5 @@
 """Tests for the top-level report orchestration."""
 
-import pytest
-
 from repro.core.report import experiment_collector, reproduce_paper
 
 

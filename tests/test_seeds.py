@@ -9,7 +9,6 @@ from repro.seeds import (
     ProbeMethod,
     select_seeds,
 )
-from repro.topology.re_config import PrefixKind
 
 
 @pytest.fixture(scope="module")
