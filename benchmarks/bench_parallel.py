@@ -1,0 +1,91 @@
+"""Sharded execution performance: serial runner vs ShardedRunner at
+1, 2, and 4 workers.
+
+Measures full-run and probe-stage wall-clock time on the bench
+ecosystem and prints the speedup table.  The probing stage is the
+parallel section; everything else (BGP convergence, feeder capture,
+classification) is serial in the parent, so the achievable full-run
+speedup is Amdahl-bounded by the probing share.
+
+The ``>= 2x at 4 workers`` assertion needs 4 CPUs actually schedulable
+by this process; on smaller hosts (CI shared runners, 1-core
+containers) the pool can only time-slice and the assertion is skipped
+— the equality of results, which never depends on core count, is
+asserted unconditionally.
+"""
+
+import os
+import time
+
+from conftest import BENCH_SEED, show
+
+from repro.experiment.parallel import ShardedRunner
+from repro.experiment.runner import ExperimentRunner
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(cls, ecosystem, **kwargs):
+    """Run one experiment; returns (result, total_s, probe_stage_s)."""
+    probe_time = [0.0]
+
+    class Timed(cls):
+        def _probe_round(self, *args, **kw):
+            t0 = time.perf_counter()
+            round_result = super()._probe_round(*args, **kw)
+            probe_time[0] += time.perf_counter() - t0
+            return round_result
+
+    t0 = time.perf_counter()
+    result = Timed(ecosystem, "surf", seed=BENCH_SEED, **kwargs).run()
+    return result, time.perf_counter() - t0, probe_time[0]
+
+
+def test_sharded_speedup(bench_ecosystem):
+    eco = bench_ecosystem
+    cpus = _cpus()
+
+    serial, serial_total, serial_probe = _timed_run(ExperimentRunner, eco)
+    runs = {}
+    for workers in (1, 2, 4):
+        runs[workers] = _timed_run(ShardedRunner, eco, workers=workers)
+
+    rows = [
+        ("available CPUs", "-", "%d" % cpus),
+        ("serial: total / probe stage", "-",
+         "%.2fs / %.2fs" % (serial_total, serial_probe)),
+    ]
+    for workers, (_, total, probe) in sorted(runs.items()):
+        rows.append((
+            "workers=%d: total / probe stage" % workers,
+            "-",
+            "%.2fs / %.2fs (%.2fx / %.2fx)"
+            % (total, probe, serial_total / total, serial_probe / probe),
+        ))
+    show("Sharded runner — wall-clock vs serial", rows)
+
+    # Results never depend on worker count, whatever the host.
+    for workers, (result, _, _) in runs.items():
+        assert len(result.rounds) == len(serial.rounds), workers
+        assert all(
+            a.responses == b.responses
+            for a, b in zip(serial.rounds, result.rounds)
+        ), "workers=%d diverged from serial" % workers
+
+    if cpus < 4:
+        import pytest
+
+        pytest.skip(
+            "speedup needs >= 4 schedulable CPUs (host has %d); "
+            "pool workers can only time-slice here" % cpus
+        )
+    _, _, probe4 = runs[4]
+    assert serial_probe / probe4 >= 2.0, (
+        "probe stage at 4 workers: %.2fs vs serial %.2fs (%.2fx < 2x)"
+        % (probe4, serial_probe, serial_probe / probe4)
+    )

@@ -80,6 +80,23 @@ class ConvergenceStats:
     def duration(self) -> float:
         return max(0.0, self.converged_at - self.started_at)
 
+    def replay_key(self) -> tuple:
+        """The run's deterministic fields, as a comparable tuple.
+
+        Everything except ``wall_seconds`` (real compute time, which
+        legitimately differs between reruns); two runs of the same
+        seeded experiment — serial or sharded, any worker count — must
+        produce equal replay keys."""
+        return (
+            self.messages_delivered,
+            self.best_changes,
+            self.started_at,
+            self.converged_at,
+            self.messages_sent,
+            self.peak_heap_depth,
+            self.message_limit,
+        )
+
     @property
     def limit_proximity(self) -> float:
         """How close the run came to the dispute-wheel message cap,

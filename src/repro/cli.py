@@ -76,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSON metrics snapshot (engine/prober/runner "
              "counters and span histograms) after the run",
     )
+    reproduce.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the probing rounds (default: 1, "
+             "serial); output is byte-identical at every worker count",
+    )
+    reproduce.add_argument(
+        "--shard-size", type=int, default=None, metavar="K",
+        help="prefixes per shard (default: split into 4 shards per "
+             "worker); never changes results, only load balance",
+    )
 
     classify = sub.add_parser(
         "classify", help="classify prefixes from a JSONL results file"
@@ -108,8 +118,15 @@ def _cmd_reproduce(args) -> int:
             print("cannot write metrics snapshot: %s" % error,
                   file=sys.stderr)
             return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size < 1:
+        print("--shard-size must be >= 1", file=sys.stderr)
+        return 2
     report = reproduce_paper(
-        REEcosystemConfig(scale=args.scale), seed=args.seed
+        REEcosystemConfig(scale=args.scale), seed=args.seed,
+        workers=args.workers, shard_size=args.shard_size,
     )
     print(report.render())
     if args.figures:

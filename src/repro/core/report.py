@@ -81,12 +81,19 @@ def reproduce_paper(
     config: Optional[REEcosystemConfig] = None,
     seed: int = 0,
     ecosystem: Optional[Ecosystem] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> PaperReproduction:
-    """Run the full reproduction at the given scale and seed."""
+    """Run the full reproduction at the given scale and seed.
+
+    ``workers`` / ``shard_size`` parallelise the probing rounds (see
+    :mod:`repro.experiment.parallel`); the report is byte-identical at
+    every worker count.
+    """
     if ecosystem is None:
         ecosystem = build_ecosystem(config or REEcosystemConfig(), seed=seed)
     surf_result, internet2_result = run_both_experiments(
-        ecosystem, seed=seed
+        ecosystem, seed=seed, workers=workers, shard_size=shard_size
     )
     origins = origin_map(ecosystem)
     surf_inference = classify_experiment(surf_result, origins)

@@ -5,7 +5,11 @@
 - :mod:`repro.experiment.runner` — runs one experiment end to end:
   announcements, convergence, outage injection, probing rounds, feeder
   view capture;
-- :mod:`repro.experiment.records` — result containers.
+- :mod:`repro.experiment.parallel` — :class:`ShardedRunner`, which
+  fans probing rounds out across worker processes with byte-identical
+  results (see the module docstring's determinism contract);
+- :mod:`repro.experiment.records` — result containers, including the
+  shard/merge records of the parallel path.
 """
 
 from .schedule import (
@@ -14,8 +18,14 @@ from .schedule import (
     format_prepend_config,
     parse_prepend_config,
 )
-from .records import ExperimentResult, FeederObservation
+from .records import (
+    ExperimentResult,
+    FeederObservation,
+    ShardOutcome,
+    ShardSpec,
+)
 from .runner import ExperimentRunner, run_both_experiments
+from .parallel import ShardedRunner
 
 __all__ = [
     "PREPEND_SEQUENCE",
@@ -24,6 +34,9 @@ __all__ = [
     "parse_prepend_config",
     "ExperimentResult",
     "FeederObservation",
+    "ShardSpec",
+    "ShardOutcome",
     "ExperimentRunner",
+    "ShardedRunner",
     "run_both_experiments",
 ]

@@ -1,0 +1,385 @@
+"""Parallel sharded experiment execution.
+
+The experiment's BGP control plane is one global, order-dependent state
+machine, so announcements, convergence, outages, and feeder-view
+capture stay serial in the parent process.  What dominates wall-clock
+time is the data plane: every probing round walks a return path for
+each of thousands of targets against a *converged* (frozen) RIB — an
+embarrassingly parallel workload by prefix.
+
+:class:`ShardedRunner` exploits exactly that split.  At each probing
+round it captures a compact :class:`~repro.probing.forwarding.RibSnapshot`
+of the converged forwarding state, partitions the prefix-sorted target
+set into contiguous shards, and fans the per-shard return-path
+propagation + probing out over a ``fork``-based
+:class:`~concurrent.futures.ProcessPoolExecutor` (an in-process
+executor stands in for ``workers=1`` and for platforms without
+``fork``).  Shard results are merged back in shard order, which — the
+shards being contiguous blocks of the same sorted prefix order the
+serial prober uses — reproduces the serial round byte for byte.
+
+Determinism contract
+--------------------
+Results are a pure function of the experiment seed:
+
+- every prefix's probe stream derives from the round's
+  :class:`~repro.rng.SeedTree` node keyed by the *prefix* (never by
+  worker id, shard boundary, or wall clock), so any partition of the
+  prefix set draws identical values;
+- probe transmit times are computed from each probe's global index in
+  the round (``now + index / pps``), shipped to shards as a start
+  offset, so pacing does not depend on execution order;
+- snapshot walks and live-RIB walks share one walk core
+  (:func:`repro.probing.forwarding._walk`), so the data plane cannot
+  drift between the serial and sharded paths.
+
+Hence ``ShardedRunner(workers=k, shard_size=s)`` produces the same
+:class:`~repro.experiment.records.ExperimentResult` as the serial
+:class:`~repro.experiment.runner.ExperimentRunner` for every ``k`` and
+``s`` — the property ``tests/test_differential.py`` enforces.
+
+Observability: each shard worker runs under an isolated metrics
+registry and a detached span stack; its registry snapshot is merged
+into the parent registry and its completed ``runner.shard.<n>`` span
+tree is re-attached under the parent's ``runner.round.<config>`` span.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ExperimentError
+from ..netutil import Prefix
+from ..obs import (
+    MetricsRegistry,
+    get_logger,
+    get_registry,
+    span,
+    use_registry,
+)
+from ..obs.spans import attach_completed, detached_trace
+from ..probing.forwarding import RibSnapshot
+from ..probing.prober import (
+    Prober,
+    RoundResult,
+    prefix_stream_rng,
+    probe_one,
+    response_from_row,
+    response_row,
+)
+from ..seeds.selection import ProbeTarget
+from ..topology.re_config import SystemPlan
+from .records import ShardOutcome, ShardSpec
+from .runner import ExperimentRunner
+
+__all__ = ["ShardedRunner", "DEFAULT_SHARDS_PER_WORKER"]
+
+#: Default oversubscription: shards per worker when ``shard_size`` is
+#: not given.  More shards than workers smooths load imbalance from
+#: prefixes with different hop counts; the value never affects results.
+DEFAULT_SHARDS_PER_WORKER = 4
+
+_log = get_logger("repro.parallel")
+
+
+@dataclass(frozen=True)
+class _WorkerState:
+    """Round-invariant probing state, shipped to each worker once (via
+    the pool initializer) rather than with every shard."""
+
+    targets: Dict[Prefix, List[ProbeTarget]]
+    systems: Dict[int, SystemPlan]
+    interface_kinds: Dict[int, str]   # announcement origin -> VLAN kind
+    pps: int
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _init_worker(state: _WorkerState) -> None:
+    global _WORKER
+    _WORKER = state
+
+
+def _probe_shard(
+    state: _WorkerState, spec: ShardSpec, snapshot: RibSnapshot
+) -> List[Optional[tuple]]:
+    """Probe one shard's prefixes against the snapshot.
+
+    Mirrors :meth:`repro.probing.prober.Prober.probe_round` exactly:
+    same prefix order (the spec carries a contiguous slice of the
+    round's sorted order), same per-prefix streams, same global-index
+    pacing, and the shared :func:`probe_one` semantics.  Returns one
+    compact wire row per probe (:func:`response_row`), in probe order;
+    the parent rebuilds :class:`ProbeResponse` objects from them.
+    """
+    origin_set = frozenset(state.interface_kinds)
+    interface_kind_of = state.interface_kinds.__getitem__
+    interval = 1.0 / state.pps
+    index = spec.start_index
+    rows: List[Optional[tuple]] = []
+
+    def walk(start_asn: int):
+        return snapshot.walk(start_asn, origin_set)
+
+    for prefix in spec.prefixes:
+        rng = prefix_stream_rng(spec.round_seed, prefix)
+        for target in state.targets[prefix]:
+            response = probe_one(
+                state.systems.get(target.address),
+                target, walk, interface_kind_of, rng,
+                spec.started_at + index * interval,
+            )
+            rows.append(response_row(response))
+            index += 1
+    return rows
+
+
+def _run_shard(spec: ShardSpec, snapshot: RibSnapshot) -> ShardOutcome:
+    """Worker entry point: probe one shard under isolated obs state."""
+    if _WORKER is None:
+        raise ExperimentError("shard worker used before initialisation")
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    with use_registry(registry), detached_trace():
+        with span("runner.shard.%d" % spec.shard_id) as record:
+            rows = _probe_shard(_WORKER, spec, snapshot)
+        registry.counter("parallel.shard_probes").inc(len(rows))
+        registry.counter("parallel.shards_completed").inc()
+        trace = record.as_dict()
+    return ShardOutcome(
+        shard_id=spec.shard_id,
+        rows=rows,
+        probe_count=len(rows),
+        wall_seconds=time.perf_counter() - started,
+        metrics=registry.snapshot(),
+        trace=trace,
+    )
+
+
+class _InlineExecutor:
+    """Same-process stand-in for the process pool.
+
+    Used for ``workers=1`` and for platforms without ``fork``: shards
+    run eagerly on ``submit`` through the *same* worker code path, so
+    the snapshot/merge machinery is exercised even when no processes
+    are spawned.
+    """
+
+    def __init__(self, state: _WorkerState) -> None:
+        self._state = state
+
+    def submit(self, fn, *args) -> Future:
+        global _WORKER
+        previous = _WORKER
+        _WORKER = self._state
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # parity with pool futures
+            future.set_exception(error)
+        finally:
+            _WORKER = previous
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardedRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` whose probing rounds fan out across
+    shards of the prefix set.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs shards in-process.
+    shard_size:
+        Prefixes per shard.  Defaults to splitting the prefix set into
+        ``workers * DEFAULT_SHARDS_PER_WORKER`` shards.  Neither knob
+        ever changes results — only wall-clock time.
+    """
+
+    def __init__(
+        self,
+        ecosystem,
+        experiment: str,
+        seed: int = 0,
+        schedule=None,
+        seed_plan=None,
+        pps: int = 100,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            ecosystem, experiment, seed=seed, schedule=schedule,
+            seed_plan=seed_plan, pps=pps,
+        )
+        if workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        if shard_size is not None and shard_size < 1:
+            raise ExperimentError("shard_size must be >= 1")
+        self.workers = workers
+        self.shard_size = shard_size
+        self._executor = None
+        self._executor_kind = "none"
+        self._worker_state: Optional[_WorkerState] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        try:
+            return super().run()
+        finally:
+            self._shutdown_executor()
+
+    # ----- executor lifecycle -----------------------------------------
+
+    def _ensure_executor(self, prober: Prober):
+        if self._executor is not None:
+            return self._executor
+        state = _WorkerState(
+            targets=self.seed_plan.targets,
+            systems=prober.systems_by_address,
+            interface_kinds={
+                asn: prober.host.interface_for_origin(asn).kind
+                for asn in prober.host.origin_asns()
+            },
+            pps=prober.pps,
+        )
+        self._worker_state = state
+        if self.workers > 1 and _fork_available():
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_worker,
+                initargs=(state,),
+            )
+            self._executor_kind = "process"
+        else:
+            self._executor = _InlineExecutor(state)
+            self._executor_kind = "inline"
+        _log.info(
+            "shard executor ready",
+            kind=self._executor_kind,
+            workers=self.workers,
+            experiment=self.experiment,
+        )
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_kind = "none"
+
+    # ----- sharding ----------------------------------------------------
+
+    def _shard_specs(
+        self, index: int, config_label: str, now: float
+    ) -> List[ShardSpec]:
+        """Partition the round's sorted prefix order into contiguous
+        shards, each carrying its global probe-index offset."""
+        prefixes = self.seed_plan.responsive_prefixes()
+        shard_size = self.shard_size
+        if shard_size is None:
+            shard_count = max(1, self.workers * DEFAULT_SHARDS_PER_WORKER)
+            shard_size = max(1, math.ceil(len(prefixes) / shard_count))
+        round_seed = self._round_seed_tree(index).seed
+        specs: List[ShardSpec] = []
+        start_index = 0
+        for shard_id, begin in enumerate(range(0, len(prefixes), shard_size)):
+            block = tuple(prefixes[begin:begin + shard_size])
+            specs.append(
+                ShardSpec(
+                    shard_id=shard_id,
+                    round_index=index,
+                    config=config_label,
+                    prefixes=block,
+                    start_index=start_index,
+                    round_seed=round_seed,
+                    started_at=now,
+                )
+            )
+            start_index += sum(
+                len(self.seed_plan.targets[prefix]) for prefix in block
+            )
+        return specs
+
+    # ----- the probing round, sharded ---------------------------------
+
+    def _probe_round(
+        self, engine, prober: Prober, rib, index: int, config_label: str
+    ) -> RoundResult:
+        executor = self._ensure_executor(prober)
+        with span("runner.snapshot"):
+            snapshot = RibSnapshot.capture(
+                self.ecosystem.topology, rib,
+                self.ecosystem.measurement_prefix,
+            )
+        specs = self._shard_specs(index, config_label, engine.now)
+        futures = [
+            executor.submit(_run_shard, spec, snapshot) for spec in specs
+        ]
+        result = RoundResult(config=config_label, started_at=engine.now)
+        registry = get_registry()
+        state = self._worker_state
+        kind_of = state.interface_kinds.__getitem__
+        interval = 1.0 / prober.pps
+        total = 0
+        with span("runner.merge"):
+            # Merge in shard order: shards are contiguous blocks of the
+            # sorted prefix order, so insertion order — and therefore
+            # every downstream iteration — matches the serial round.
+            # Workers send compact rows; responses are rebuilt here
+            # against the parent's own target table, with transmit
+            # times recomputed from the same global probe indices the
+            # workers used.
+            for spec, future in zip(specs, futures):
+                outcome = future.result()
+                row_iter = iter(outcome.rows)
+                index = spec.start_index
+                for prefix in spec.prefixes:
+                    rebuilt = []
+                    for target in state.targets[prefix]:
+                        rebuilt.append(
+                            response_from_row(
+                                next(row_iter), target,
+                                spec.started_at + index * interval,
+                                kind_of,
+                            )
+                        )
+                        index += 1
+                    if rebuilt:
+                        result.responses[prefix] = rebuilt
+                total += outcome.probe_count
+                registry.merge_snapshot(outcome.metrics)
+                if outcome.trace is not None:
+                    attach_completed(outcome.trace)
+                registry.histogram("runner.shard_wall_seconds").observe(
+                    outcome.wall_seconds
+                )
+        result.duration = total * (1.0 / prober.pps)
+        registry.counter("runner.rounds_sharded").inc()
+        registry.gauge("runner.shards_per_round").set(len(specs))
+        registry.gauge("runner.shard_workers").set(self.workers)
+        prober._flush_metrics(result)
+        if _log.is_enabled_for("debug"):
+            _log.debug(
+                "sharded round merged",
+                round=index,
+                config=config_label,
+                shards=len(specs),
+                probes=total,
+                executor=self._executor_kind,
+            )
+        return result

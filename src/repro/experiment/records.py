@@ -12,6 +12,53 @@ from ..seeds.selection import SeedPlan
 from .schedule import ExperimentSchedule
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a probing round: a contiguous block of the round's
+    prefix order, plus everything a worker needs to probe it
+    deterministically.
+
+    ``start_index`` is the global index of the shard's first probe in
+    the round's prefix-sorted target sequence (transmit pacing).
+    ``round_seed`` is the round's seed-tree node value; the worker
+    derives each prefix's probe stream from it, so results depend only
+    on (seed, prefix) — never on shard boundaries or worker identity.
+    """
+
+    shard_id: int
+    round_index: int
+    config: str
+    prefixes: Tuple[Prefix, ...]
+    start_index: int
+    round_seed: int
+    started_at: float
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard worker sends back to be merged.
+
+    ``rows`` carries one compact wire row per probe
+    (:func:`repro.probing.prober.response_row`) in the shard's global
+    probe order; the parent rehydrates :class:`ProbeResponse` objects
+    against its own target table, so neither targets nor response
+    objects are pickled across the process boundary.
+
+    ``metrics`` is the worker's isolated registry snapshot
+    (:meth:`repro.obs.MetricsRegistry.snapshot`), merged into the
+    parent registry; ``trace`` is the shard's completed span tree
+    (:meth:`repro.obs.SpanRecord.as_dict`), re-attached under the
+    parent's round span.
+    """
+
+    shard_id: int
+    rows: List[Optional[tuple]]
+    probe_count: int
+    wall_seconds: float
+    metrics: dict = field(default_factory=dict)
+    trace: Optional[dict] = None
+
+
 @dataclass
 class FeederObservation:
     """What one collector-feeding member AS exported for the measurement

@@ -161,13 +161,8 @@ class ExperimentRunner:
                 )
                 engine.advance_to(next_probe_at)
 
-                round_rng = self.tree.child("round-%d" % index).rng()
-                round_result = prober.probe_round(
-                    config_label,
-                    self.seed_plan.targets,
-                    rib,
-                    round_rng,
-                    engine.now,
+                round_result = self._probe_round(
+                    engine, prober, rib, index, config_label
                 )
                 result.rounds.append(round_result)
                 result.round_times.append(
@@ -196,6 +191,31 @@ class ExperimentRunner:
         return result
 
     # ----- helpers ------------------------------------------------------
+
+    def _round_seed_tree(self, index: int):
+        """The seed node all of round *index*'s probe streams derive
+        from — shared by the serial and sharded probing paths."""
+        return self.tree.child("round-%d" % index)
+
+    def _probe_round(
+        self,
+        engine: PropagationEngine,
+        prober: Prober,
+        rib,
+        index: int,
+        config_label: str,
+    ):
+        """Execute one probing round.  The base implementation probes
+        serially against the live RIB;
+        :class:`~repro.experiment.parallel.ShardedRunner` overrides it
+        to fan shards out across worker processes."""
+        return prober.probe_round(
+            config_label,
+            self.seed_plan.targets,
+            rib,
+            self._round_seed_tree(index),
+            engine.now,
+        )
 
     def _announce(
         self,
@@ -359,17 +379,32 @@ def run_both_experiments(
     seed: int = 0,
     schedule: Optional[ExperimentSchedule] = None,
     pps: int = 100,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """Run the SURF and Internet2 experiments with shared probe seeds,
-    as the paper did one week apart."""
+    as the paper did one week apart.
+
+    ``workers`` > 1 (or an explicit ``shard_size``) routes the probing
+    rounds through :class:`~repro.experiment.parallel.ShardedRunner`;
+    results are byte-identical at every worker count and shard size.
+    """
+    def make_runner(experiment: str, run_seed: int, seed_plan):
+        if workers == 1 and shard_size is None:
+            return ExperimentRunner(
+                ecosystem, experiment, seed=run_seed, schedule=schedule,
+                seed_plan=seed_plan, pps=pps,
+            )
+        from .parallel import ShardedRunner
+
+        return ShardedRunner(
+            ecosystem, experiment, seed=run_seed, schedule=schedule,
+            seed_plan=seed_plan, pps=pps, workers=workers,
+            shard_size=shard_size,
+        )
+
     tree = SeedTree(seed)
     shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
-    surf = ExperimentRunner(
-        ecosystem, "surf", seed=seed, schedule=schedule,
-        seed_plan=shared_seeds, pps=pps,
-    ).run()
-    internet2 = ExperimentRunner(
-        ecosystem, "internet2", seed=seed + 1, schedule=schedule,
-        seed_plan=shared_seeds, pps=pps,
-    ).run()
+    surf = make_runner("surf", seed, shared_seeds).run()
+    internet2 = make_runner("internet2", seed + 1, shared_seeds).run()
     return surf, internet2

@@ -162,6 +162,34 @@ class Histogram:
                 "buckets": buckets,
             }
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold another histogram's :meth:`as_dict` export into this
+        one.  Bucket bounds must match (same instrument family)."""
+        buckets = data.get("buckets", [])
+        bounds = tuple(
+            float(bound) for bound, _ in buckets if bound != "+Inf"
+        )
+        if bounds != self.bounds:
+            raise ValueError(
+                "histogram %s: cannot merge mismatched buckets %r"
+                % (self.name, bounds)
+            )
+        with self._lock:
+            for index, (_, count) in enumerate(buckets):
+                self._counts[index] += int(count)
+            self._sum += float(data.get("sum", 0.0))
+            self._count += int(data.get("count", 0))
+            for key, keep in (("min", min), ("max", max)):
+                value = data.get(key)
+                if value is None:
+                    continue
+                mine = self._min if key == "min" else self._max
+                merged = value if mine is None else keep(mine, value)
+                if key == "min":
+                    self._min = merged
+                else:
+                    self._max = merged
+
 
 class _NullInstrument:
     """Shared no-op standing in for every instrument of a disabled
@@ -254,6 +282,32 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching :meth:`Gauge.set` semantics), histograms merge bucket
+        counts.  This is how per-shard worker registries are folded
+        into the parent registry after a parallel probing round; the
+        operation is associative, so shards can be merged in any order
+        without changing the totals.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds = tuple(
+                float(bound)
+                for bound, _ in data.get("buckets", [])
+                if bound != "+Inf"
+            )
+            self.histogram(
+                name, bounds or DEFAULT_TIME_BUCKETS
+            ).merge_dict(data)
 
     def snapshot(self) -> dict:
         """A plain-dict (JSON-serialisable) view of every instrument."""

@@ -25,6 +25,7 @@ leak; histograms are unaffected by the bound.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import threading
 import time
@@ -33,7 +34,7 @@ from typing import Callable, List, Optional
 from .metrics import DEFAULT_TIME_BUCKETS, get_registry
 
 __all__ = ["SpanRecord", "span", "finished_roots", "reset_trace",
-           "current_span"]
+           "current_span", "detached_trace", "attach_completed"]
 
 #: Retain at most this many completed root spans per thread.
 MAX_FINISHED_ROOTS = 256
@@ -53,9 +54,19 @@ class SpanRecord:
     def as_dict(self) -> dict:
         return {
             "name": self.name,
+            "started_at": self.started_at,
             "duration": self.duration,
             "children": [child.as_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        record = cls(data["name"], float(data.get("started_at", 0.0)))
+        record.duration = data.get("duration")
+        record.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SpanRecord(%r, duration=%r, children=%d)" % (
@@ -85,6 +96,44 @@ def finished_roots() -> List[SpanRecord]:
 def reset_trace() -> None:
     """Drop this thread's completed trace tree (open spans survive)."""
     del _state.roots[:]
+
+
+@contextlib.contextmanager
+def detached_trace():
+    """Run a block against a fresh, empty span stack.
+
+    Shard workers wrap their probing in this so their spans never nest
+    under (or corrupt) whatever stack the caller — or, under ``fork``,
+    the parent process at fork time — had open.  The previous stack and
+    roots are restored on exit; the block's completed roots are
+    discarded (the worker exports them explicitly via
+    :meth:`SpanRecord.as_dict`).
+    """
+    saved_stack, saved_roots = _state.stack, _state.roots
+    _state.stack, _state.roots = [], []
+    try:
+        yield
+    finally:
+        _state.stack, _state.roots = saved_stack, saved_roots
+
+
+def attach_completed(tree: dict) -> SpanRecord:
+    """Graft a completed span tree (a :meth:`SpanRecord.as_dict` export
+    from another process) under this thread's innermost open span, or
+    as a root if none is open.
+
+    Histograms are *not* observed — the exporting process already
+    recorded its durations into its own registry, which is merged
+    separately — so attaching never double-counts.
+    """
+    record = SpanRecord.from_dict(tree)
+    if _state.stack:
+        _state.stack[-1].children.append(record)
+    else:
+        _state.roots.append(record)
+        if len(_state.roots) > MAX_FINISHED_ROOTS:
+            del _state.roots[: len(_state.roots) - MAX_FINISHED_ROOTS]
+    return record
 
 
 class span:

@@ -11,8 +11,21 @@
 """
 
 from .host import MeasurementHost, VLANInterface
-from .forwarding import ForwardingOutcome, ReturnPath, walk_return_path
-from .prober import ProbeResponse, Prober, RoundResult
+from .forwarding import (
+    ForwardingOutcome,
+    ReturnPath,
+    RibSnapshot,
+    walk_return_path,
+)
+from .prober import (
+    ProbeResponse,
+    Prober,
+    RoundResult,
+    prefix_stream_rng,
+    probe_one,
+    response_from_row,
+    response_row,
+)
 from .traceroute import TracerouteResult, paths_are_symmetric, traceroute
 
 __all__ = [
@@ -20,10 +33,15 @@ __all__ = [
     "VLANInterface",
     "ForwardingOutcome",
     "ReturnPath",
+    "RibSnapshot",
     "walk_return_path",
     "ProbeResponse",
     "Prober",
     "RoundResult",
+    "prefix_stream_rng",
+    "probe_one",
+    "response_from_row",
+    "response_row",
     "TracerouteResult",
     "traceroute",
     "paths_are_symmetric",

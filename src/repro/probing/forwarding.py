@@ -9,15 +9,23 @@ or fails (no route and no default).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..netutil import Prefix
 from ..topology.graph import Topology
 
 #: Generous AS-level TTL; real AS paths never approach this.
 MAX_AS_HOPS = 64
+
+#: Step kinds returned by a plane's per-AS lookup: the AS either holds
+#: a locally originated route (walk delivers there), forwards along a
+#: learned route, falls back to a default route, or has nothing.
+_LOCAL = 0
+_ROUTE = 1
+_DEFAULT = 2
+_NONE = 3
 
 
 class ForwardingOutcome(Enum):
@@ -36,19 +44,17 @@ class ReturnPath:
     used_default: bool = False    # a default route carried some hop
 
 
-def walk_return_path(
-    topology: Topology,
-    best_route_of: Callable[[int], object],
+def _walk(
+    step_of: Callable[[int], Tuple[int, Optional[int]]],
     start_asn: int,
     origin_asns: Set[int],
-    prefix: Prefix,
 ) -> ReturnPath:
-    """Walk from *start_asn* toward the measurement prefix.
+    """Shared walk core over a per-AS forwarding step function.
 
-    ``best_route_of(asn)`` returns the AS's current best
-    :class:`~repro.bgp.attributes.Route` for the measurement prefix (or
-    None); adapters exist for both propagation engines.  ``origin_asns``
-    are the announcement origins (walk terminators).
+    ``step_of(asn)`` classifies the AS's forwarding state as one of
+    ``(_LOCAL, None)``, ``(_ROUTE, next_hop)``, ``(_DEFAULT, next_hop)``
+    or ``(_NONE, None)``.  Both the live-RIB walker and the snapshot
+    walker reduce to this, so their semantics cannot drift apart.
     """
     hops: List[int] = [start_asn]
     current = start_asn
@@ -62,19 +68,15 @@ def walk_return_path(
                 hops=hops,
                 used_default=used_default,
             )
-        route = best_route_of(current)
-        if route is None:
-            default_via = topology.node(current).policy.default_route_via
-            if default_via is None:
-                return ReturnPath(
-                    outcome=ForwardingOutcome.NO_ROUTE,
-                    origin_asn=None,
-                    hops=hops,
-                    used_default=used_default,
-                )
-            next_hop = default_via
-            used_default = True
-        elif route.learned_from is None:
+        kind, next_hop = step_of(current)
+        if kind == _NONE:
+            return ReturnPath(
+                outcome=ForwardingOutcome.NO_ROUTE,
+                origin_asn=None,
+                hops=hops,
+                used_default=used_default,
+            )
+        if kind == _LOCAL:
             # Locally originated at a non-origin AS should not happen
             # for the measurement prefix; treat as delivery point.
             return ReturnPath(
@@ -83,8 +85,8 @@ def walk_return_path(
                 hops=hops,
                 used_default=used_default,
             )
-        else:
-            next_hop = route.learned_from
+        if kind == _DEFAULT:
+            used_default = True
         if next_hop in visited:
             return ReturnPath(
                 outcome=ForwardingOutcome.LOOP,
@@ -101,6 +103,96 @@ def walk_return_path(
         hops=hops,
         used_default=used_default,
     )
+
+
+def walk_return_path(
+    topology: Topology,
+    best_route_of: Callable[[int], object],
+    start_asn: int,
+    origin_asns: Set[int],
+    prefix: Prefix,
+) -> ReturnPath:
+    """Walk from *start_asn* toward the measurement prefix.
+
+    ``best_route_of(asn)`` returns the AS's current best
+    :class:`~repro.bgp.attributes.Route` for the measurement prefix (or
+    None); adapters exist for both propagation engines.  ``origin_asns``
+    are the announcement origins (walk terminators).
+    """
+    def step_of(asn: int) -> Tuple[int, Optional[int]]:
+        route = best_route_of(asn)
+        if route is None:
+            default_via = topology.node(asn).policy.default_route_via
+            if default_via is None:
+                return _NONE, None
+            return _DEFAULT, default_via
+        if route.learned_from is None:
+            return _LOCAL, None
+        return _ROUTE, route.learned_from
+
+    return _walk(step_of, start_asn, origin_asns)
+
+
+@dataclass(frozen=True)
+class RibSnapshot:
+    """A frozen, picklable view of the data plane for one prefix.
+
+    Captures just what a return-path walk needs — per-AS next hop,
+    locally originated holders, and per-AS default routes — as plain
+    int dictionaries, so a converged RIB can be shipped to worker
+    processes without dragging the topology or router objects along.
+    Walking a snapshot is bit-identical to walking the live RIB it was
+    captured from (both reduce to the same :func:`_walk` core).
+    """
+
+    prefix: Prefix
+    next_hop: Dict[int, int] = field(default_factory=dict)
+    local: FrozenSet[int] = frozenset()
+    default_via: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        topology: Topology,
+        best_route_of: Callable[[int], object],
+        prefix: Prefix,
+    ) -> "RibSnapshot":
+        """Snapshot every AS's forwarding state for *prefix*."""
+        next_hop: Dict[int, int] = {}
+        local = set()
+        default_via: Dict[int, int] = {}
+        for node in topology.ases():
+            asn = node.asn
+            route = best_route_of(asn)
+            if route is None:
+                if node.policy.default_route_via is not None:
+                    default_via[asn] = node.policy.default_route_via
+            elif route.learned_from is None:
+                local.add(asn)
+            else:
+                next_hop[asn] = route.learned_from
+        return cls(
+            prefix=prefix,
+            next_hop=next_hop,
+            local=frozenset(local),
+            default_via=default_via,
+        )
+
+    def _step_of(self, asn: int) -> Tuple[int, Optional[int]]:
+        next_hop = self.next_hop.get(asn)
+        if next_hop is not None:
+            return _ROUTE, next_hop
+        if asn in self.local:
+            return _LOCAL, None
+        default_via = self.default_via.get(asn)
+        if default_via is not None:
+            return _DEFAULT, default_via
+        return _NONE, None
+
+    def walk(self, start_asn: int, origin_asns: Set[int]) -> ReturnPath:
+        """Walk the snapshot exactly as :func:`walk_return_path` walks
+        the live RIB."""
+        return _walk(self._step_of, start_asn, origin_asns)
 
 
 def engine_rib(engine, prefix: Prefix) -> Callable[[int], object]:

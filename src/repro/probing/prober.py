@@ -4,6 +4,14 @@ Probes a round of targets at a fixed packet rate, records which VLAN
 interface each response arrives on (IP_PKTINFO-style), and synthesises
 RTTs from AS-path hop counts.  Loss has two sources: per-system
 transient loss (flaky hosts) and forwarding failure (no return route).
+
+Randomness is keyed *per prefix*: each probed prefix draws from its own
+stream derived from the round's :class:`~repro.rng.SeedTree` node, so
+the same experiment seed yields the same responses no matter how the
+prefix set is partitioned across shards or worker processes
+(:mod:`repro.experiment.parallel`).  Probe transmit times are computed
+from the probe's global index (``now + index / pps``) rather than by
+accumulation, for the same reason.
 """
 
 from __future__ import annotations
@@ -15,15 +23,28 @@ from typing import Callable, Dict, List, Optional
 from ..errors import ExperimentError
 from ..netutil import Prefix
 from ..obs import get_logger, get_registry, span
+from ..rng import SeedTree, derive_seed
 from ..topology.graph import Topology
 from ..topology.re_config import SystemPlan
 from ..seeds.selection import ProbeTarget
-from .forwarding import ForwardingOutcome, walk_return_path
+from .forwarding import ForwardingOutcome, ReturnPath, walk_return_path
 from .host import MeasurementHost
 
 DEFAULT_PPS = 100
 
+#: Label template of a prefix's probe stream under the round's seed
+#: node.  Shard workers derive the same streams from the round seed, so
+#: this template is part of the determinism contract.
+PREFIX_STREAM_LABEL = "prefix-%s"
+
 _log = get_logger("repro.prober")
+
+
+def prefix_stream_rng(round_seed: int, prefix: Prefix) -> random.Random:
+    """The probe RNG for *prefix* within the round seeded *round_seed*."""
+    return random.Random(
+        derive_seed(round_seed, PREFIX_STREAM_LABEL % prefix)
+    )
 
 
 @dataclass
@@ -70,6 +91,58 @@ class RoundResult:
         return sum(len(r) for r in self.responses.values())
 
 
+#: Outcome codes of the compact shard wire format (indices into the
+#: :class:`ForwardingOutcome` declaration order).
+_OUTCOMES = tuple(ForwardingOutcome)
+_OUTCOME_CODE = {outcome: code for code, outcome in enumerate(_OUTCOMES)}
+
+
+def response_row(response: ProbeResponse) -> Optional[tuple]:
+    """Flatten *response* into the compact shard wire format.
+
+    Shard workers ship rows — ``None`` or small tuples of primitives —
+    instead of :class:`ProbeResponse` objects: the parent process
+    already holds every :class:`ProbeTarget` and recomputes transmit
+    times from probe indices, so pickling full responses back would
+    cost more than the walks themselves
+    (:mod:`repro.experiment.parallel`).
+    """
+    if response.responded:
+        return (response.origin_asn, response.rtt_ms, response.hops)
+    if response.outcome is None:
+        # Dead system, unknown address, or transient loss.
+        return None
+    return (_OUTCOME_CODE[response.outcome], response.hops)
+
+
+def response_from_row(
+    row: Optional[tuple],
+    target: ProbeTarget,
+    tx: float,
+    interface_kind_of: Callable[[int], str],
+) -> ProbeResponse:
+    """Rebuild the :class:`ProbeResponse` that *row* flattened.
+
+    The exact inverse of :func:`response_row` given the same target and
+    transmit time, so a round rebuilt from shard rows is equal field
+    for field to the serial round.
+    """
+    if row is None:
+        return ProbeResponse(target=target, tx_time=tx, responded=False)
+    if len(row) == 2:
+        return ProbeResponse(
+            target=target, tx_time=tx, responded=False,
+            outcome=_OUTCOMES[row[0]], hops=row[1],
+        )
+    origin_asn, rtt_ms, hops = row
+    return ProbeResponse(
+        target=target, tx_time=tx, responded=True,
+        interface_kind=interface_kind_of(origin_asn),
+        origin_asn=origin_asn, rtt_ms=rtt_ms,
+        outcome=ForwardingOutcome.DELIVERED, hops=hops,
+    )
+
+
 class Prober:
     """Paced prober over the simulated data plane."""
 
@@ -92,25 +165,31 @@ class Prober:
         config: str,
         targets_by_prefix: Dict[Prefix, List[ProbeTarget]],
         best_route_of: Callable[[int], object],
-        rng: random.Random,
+        seed_tree: SeedTree,
         now: float,
     ) -> RoundResult:
-        """Probe every target once, pacing at ``pps``."""
+        """Probe every target once, pacing at ``pps``.
+
+        *seed_tree* is the round's seed node; each prefix derives its
+        own probe stream from it (see :func:`prefix_stream_rng`).
+        """
         result = RoundResult(config=config, started_at=now)
         origin_set = set(self.host.origin_asns())
-        tx = now
         interval = 1.0 / self.pps
+        index = 0
         with span("prober.round"):
             for prefix in sorted(
                 targets_by_prefix, key=lambda p: (p.network, p.length)
             ):
+                rng = prefix_stream_rng(seed_tree.seed, prefix)
                 for target in targets_by_prefix[prefix]:
                     response = self._probe_one(
-                        target, best_route_of, origin_set, rng, tx
+                        target, best_route_of, origin_set, rng,
+                        now + index * interval,
                     )
                     result.responses.setdefault(prefix, []).append(response)
-                    tx += interval
-        result.duration = tx - now
+                    index += 1
+        result.duration = index * interval
         self._flush_metrics(result)
         return result
 
@@ -143,36 +222,60 @@ class Prober:
         rng: random.Random,
         tx: float,
     ) -> ProbeResponse:
-        system = self.systems_by_address.get(target.address)
-        if system is None or not system.alive:
-            return ProbeResponse(target=target, tx_time=tx, responded=False)
-        if rng.random() < system.loss_probability:
-            return ProbeResponse(target=target, tx_time=tx, responded=False)
-        path = walk_return_path(
-            self.topology,
-            best_route_of,
-            system.attached_asn,
-            origin_set,
-            target.prefix,
-        )
-        if path.outcome is not ForwardingOutcome.DELIVERED:
-            return ProbeResponse(
-                target=target,
-                tx_time=tx,
-                responded=False,
-                outcome=path.outcome,
-                hops=len(path.hops),
+        def walk(start_asn: int) -> ReturnPath:
+            return walk_return_path(
+                self.topology, best_route_of, start_asn, origin_set,
+                target.prefix,
             )
-        interface = self.host.interface_for_origin(path.origin_asn)
-        hop_count = len(path.hops)
-        rtt = 4.0 * hop_count + rng.uniform(1.0, 25.0)
+
+        def interface_kind_of(origin_asn: int) -> str:
+            return self.host.interface_for_origin(origin_asn).kind
+
+        return probe_one(
+            self.systems_by_address.get(target.address),
+            target, walk, interface_kind_of, rng, tx,
+        )
+
+
+def probe_one(
+    system: Optional[SystemPlan],
+    target: ProbeTarget,
+    walk: Callable[[int], ReturnPath],
+    interface_kind_of: Callable[[int], str],
+    rng: random.Random,
+    tx: float,
+) -> ProbeResponse:
+    """Probe one target over an abstract data plane.
+
+    This is the single implementation of probe semantics: the serial
+    :class:`Prober` walks the live RIB, shard workers walk a
+    :class:`~repro.probing.forwarding.RibSnapshot`, and both funnel
+    through here so their responses cannot diverge.  *walk* maps the
+    probed system's attached ASN to a
+    :class:`~repro.probing.forwarding.ReturnPath`.
+    """
+    if system is None or not system.alive:
+        return ProbeResponse(target=target, tx_time=tx, responded=False)
+    if rng.random() < system.loss_probability:
+        return ProbeResponse(target=target, tx_time=tx, responded=False)
+    path = walk(system.attached_asn)
+    if path.outcome is not ForwardingOutcome.DELIVERED:
         return ProbeResponse(
             target=target,
             tx_time=tx,
-            responded=True,
-            interface_kind=interface.kind,
-            origin_asn=path.origin_asn,
-            rtt_ms=rtt,
+            responded=False,
             outcome=path.outcome,
-            hops=hop_count,
+            hops=len(path.hops),
         )
+    hop_count = len(path.hops)
+    rtt = 4.0 * hop_count + rng.uniform(1.0, 25.0)
+    return ProbeResponse(
+        target=target,
+        tx_time=tx,
+        responded=True,
+        interface_kind=interface_kind_of(path.origin_asn),
+        origin_asn=path.origin_asn,
+        rtt_ms=rtt,
+        outcome=path.outcome,
+        hops=hop_count,
+    )

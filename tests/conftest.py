@@ -19,6 +19,19 @@ TEST_SCALE = 0.1
 TEST_SEED = 1234
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate golden snapshot files under tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def ecosystem():
     return build_ecosystem(REEcosystemConfig(scale=TEST_SCALE), seed=TEST_SEED)

@@ -1,0 +1,176 @@
+"""Differential correctness: the sharded runner against the serial
+runner, across a grid of seeds, and the fastpath oracle against the
+event-driven engine.
+
+The determinism contract (see :mod:`repro.experiment.parallel`) says
+results are a pure function of the experiment seed — never of worker
+count or shard size.  These tests enforce it at every level the
+analysis depends on: raw responses, per-round convergence, prefix
+classifications, and the rendered report.
+
+``REPRO_TEST_WORKERS`` picks the multi-process worker count (default
+2), so CI can run the suite at several counts without editing tests.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Announcement,
+    REEcosystemConfig,
+    build_ecosystem,
+    propagate_fastpath,
+)
+from repro.bgp.engine import PropagationEngine
+from repro.core.classify import classify_experiment, origin_map
+from repro.core.report import reproduce_paper
+from repro.experiment.parallel import ShardedRunner
+from repro.experiment.runner import ExperimentRunner
+from repro.rng import SeedTree
+
+#: Multi-process worker count exercised by the grid (CI matrix knob).
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+#: (seed, scale) grid.  Small scales keep the grid cheap; the shared
+#: session fixtures already cover scale 0.1.
+GRID = [(0, 0.06), (7, 0.06)]
+
+
+@pytest.fixture(
+    scope="module",
+    params=GRID,
+    ids=["seed%d-scale%s" % pair for pair in GRID],
+)
+def diff_case(request):
+    """One grid cell: the serial run plus three sharded variants that
+    must all be equal to it."""
+    seed, scale = request.param
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    serial = ExperimentRunner(ecosystem, "surf", seed=seed).run()
+    variants = {
+        "workers=1": ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=1
+        ).run(),
+        "workers=1 shard_size=7": ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=1, shard_size=7
+        ).run(),
+        "workers=%d" % WORKERS: ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=WORKERS
+        ).run(),
+    }
+    return ecosystem, serial, variants
+
+
+def _round_key(round_result):
+    return (
+        round_result.config,
+        round_result.started_at,
+        round_result.duration,
+        round_result.responses,
+    )
+
+
+class TestShardedMatchesSerial:
+    def test_rounds_identical(self, diff_case):
+        _, serial, variants = diff_case
+        expected = [_round_key(r) for r in serial.rounds]
+        for label, result in variants.items():
+            assert [_round_key(r) for r in result.rounds] == expected, label
+
+    def test_round_convergence_identical(self, diff_case):
+        _, serial, variants = diff_case
+        expected = [
+            [stats.replay_key() for stats in round_stats]
+            for round_stats in serial.round_convergence
+        ]
+        for label, result in variants.items():
+            got = [
+                [stats.replay_key() for stats in round_stats]
+                for round_stats in result.round_convergence
+            ]
+            assert got == expected, label
+
+    def test_update_log_and_feeders_identical(self, diff_case):
+        _, serial, variants = diff_case
+        for label, result in variants.items():
+            assert result.update_log == serial.update_log, label
+            assert result.feeder_views == serial.feeder_views, label
+            assert result.outages_applied == serial.outages_applied, label
+
+    def test_classifications_identical(self, diff_case):
+        ecosystem, serial, variants = diff_case
+        origins = origin_map(ecosystem)
+        expected = {
+            prefix: inference.category
+            for prefix, inference in
+            classify_experiment(serial, origins).inferences.items()
+        }
+        for label, result in variants.items():
+            got = {
+                prefix: inference.category
+                for prefix, inference in
+                classify_experiment(result, origins).inferences.items()
+            }
+            assert got == expected, label
+
+
+class TestReportText:
+    """The rendered report — every table and figure — is identical at
+    every worker count."""
+
+    def test_report_identical_across_worker_counts(self):
+        seed, scale = GRID[0]
+        ecosystem = build_ecosystem(
+            REEcosystemConfig(scale=scale), seed=seed
+        )
+        serial_text = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=1
+        ).render()
+        sharded_text = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=WORKERS
+        ).render()
+        assert sharded_text == serial_text
+
+
+class TestFastpathOracle:
+    """The Bellman-Ford fastpath (which shard workers' snapshots are
+    built from, via the converged RIB) against the event-driven engine,
+    per AS."""
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_best_routes_agree(self, seed):
+        ecosystem = build_ecosystem(
+            REEcosystemConfig(scale=0.04), seed=seed
+        )
+        topology = ecosystem.topology
+        for asn in topology.nodes:
+            # Age tie-breaking is inherently arrival-order dependent;
+            # disable it so both engines share a total order.
+            topology.node(asn).policy.age_tiebreak = False
+        try:
+            prefix = ecosystem.measurement_prefix
+            announcements = [
+                Announcement(prefix, ecosystem.internet2_origin, tag="re"),
+                Announcement(prefix, ecosystem.commodity_origin,
+                             tag="commodity"),
+            ]
+            fast = propagate_fastpath(topology, announcements)
+
+            engine = PropagationEngine(topology, SeedTree(seed))
+            engine.announce(ecosystem.commodity_origin, prefix,
+                            tag="commodity")
+            engine.run_to_fixpoint()
+            engine.announce(ecosystem.internet2_origin, prefix, tag="re")
+            engine.run_to_fixpoint()
+
+            for asn in topology.nodes:
+                slow = engine.best_route(asn, prefix)
+                quick = fast.route_at(asn)
+                slow_key = (slow.tag, slow.path.asns) if slow else None
+                quick_key = (quick.tag, quick.path.asns) if quick else None
+                assert slow_key == quick_key, \
+                    "AS %d: %r != %r" % (asn, slow_key, quick_key)
+        finally:
+            for asn in topology.nodes:
+                topology.node(asn).policy.age_tiebreak = True

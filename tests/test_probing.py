@@ -1,8 +1,6 @@
 """Tests for the measurement host, the return-path walker, and the
 prober."""
 
-import random
-
 import pytest
 
 from repro import Announcement, Prefix, propagate_fastpath
@@ -17,6 +15,7 @@ from repro.probing import (
 from repro.probing.forwarding import fastpath_rib
 from repro.probing.host import DEFAULT_SOURCE
 from repro.probing.prober import Prober
+from repro.rng import SeedTree
 from repro.seeds.selection import ProbeMethod, ProbeTarget
 from repro.topology.graph import Topology
 from repro.topology.re_config import SystemPlan
@@ -175,7 +174,7 @@ class TestProber:
     def test_round_records_interface(self):
         prober, targets, rib = self._setup()
         round_result = prober.probe_round(
-            "0-0", targets, rib, random.Random(0), now=100.0
+            "0-0", targets, rib, SeedTree(0), now=100.0
         )
         prefix = next(iter(targets))
         responses = round_result.responses[prefix]
@@ -188,7 +187,7 @@ class TestProber:
     def test_pacing_sets_duration(self):
         prober, targets, rib = self._setup()
         round_result = prober.probe_round(
-            "0-0", targets, rib, random.Random(0), now=0.0
+            "0-0", targets, rib, SeedTree(0), now=0.0
         )
         assert round_result.duration == pytest.approx(
             round_result.probe_count() / prober.pps
@@ -200,7 +199,7 @@ class TestProber:
         address = targets[prefix][0].address
         prober.systems_by_address[address].loss_probability = 1.0
         round_result = prober.probe_round(
-            "0-0", targets, rib, random.Random(0), now=0.0
+            "0-0", targets, rib, SeedTree(0), now=0.0
         )
         assert not round_result.responses[prefix][0].responded
         assert round_result.response_count() == 0
@@ -214,7 +213,7 @@ class TestProber:
         )
         targets[prefix].append(extra)
         round_result = prober.probe_round(
-            "0-0", targets, rib, random.Random(0), now=0.0
+            "0-0", targets, rib, SeedTree(0), now=0.0
         )
         assert round_result.response_count() == 1
 
