@@ -15,7 +15,7 @@ from repro.collectors import build_collector_rib
 from repro.rng import SeedTree
 
 
-def test_engine_convergence(benchmark, bench_ecosystem):
+def test_engine_convergence(benchmark, bench_ecosystem, bench_emit):
     eco = bench_ecosystem
 
     def run():
@@ -37,9 +37,14 @@ def test_engine_convergence(benchmark, bench_ecosystem):
         ],
     )
     assert stats.messages_delivered > 0
+    bench_emit.update(
+        messages_delivered=stats.messages_delivered,
+        best_changes=stats.best_changes,
+        topology_ases=len(eco.topology),
+    )
 
 
-def test_fastpath_propagation(benchmark, bench_ecosystem):
+def test_fastpath_propagation(benchmark, bench_ecosystem, bench_emit):
     eco = bench_ecosystem
     announcements = [
         Announcement(eco.measurement_prefix, eco.internet2_origin, tag="re"),
@@ -48,6 +53,10 @@ def test_fastpath_propagation(benchmark, bench_ecosystem):
     ]
     result = benchmark(propagate_fastpath, eco.topology, announcements)
     assert len(result.best) >= 0.9 * len(eco.topology)
+    bench_emit.update(
+        ases_with_route=len(result.best),
+        topology_ases=len(eco.topology),
+    )
 
 
 def test_collector_rib_build(benchmark, bench_ecosystem):

@@ -11,7 +11,7 @@ from conftest import show
 from repro.collectors import Collector, build_churn_report
 
 
-def test_fig3_churn(benchmark, bench_ecosystem, bench_results):
+def test_fig3_churn(benchmark, bench_ecosystem, bench_results, bench_emit):
     _, internet2_result = bench_results
 
     def build():
@@ -38,4 +38,9 @@ def test_fig3_churn(benchmark, bench_ecosystem, bench_results):
     )
     assert ratio > 8
     assert report.re_phase.commodity_tagged <= report.re_phase.updates
+    bench_emit.update(
+        re_phase_updates=report.re_phase.updates,
+        commodity_phase_updates=report.commodity_phase.updates,
+        churn_ratio=round(ratio, 2),
+    )
     assert (report.min_quiet_minutes or 0) > 10

@@ -6,6 +6,13 @@ instruments.  The engine flushes metrics once per run and the hot loop
 only touches plain locals, so the measured overhead should be far
 below the 5% budget; this benchmark keeps it that way.
 
+A second guard covers decision provenance
+(:mod:`repro.obs.provenance`): with no recorder installed — the
+default — every route selection pays exactly one function call
+returning ``None``, and even an *installed* recorder whose prefix
+filter matches nothing must stay within the same 5% budget (one
+``wants()`` set lookup per selection, no event construction).
+
 Run directly (``python benchmarks/bench_obs_overhead.py``) or via
 pytest (``PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py``).
 """
@@ -21,6 +28,7 @@ from repro import (
     build_ecosystem,
 )
 from repro.obs import MetricsRegistry, use_registry
+from repro.obs.provenance import ProvenanceRecorder, use_provenance
 
 #: Allowed instrumentation overhead, as a fraction of baseline.
 OVERHEAD_BUDGET = 0.05
@@ -62,6 +70,29 @@ def measure(ecosystem):
     return min(enabled_times), min(disabled_times)
 
 
+def measure_provenance(ecosystem):
+    """(filtered_best, disabled_best) wall seconds, interleaved.
+
+    "Filtered" installs a recorder whose prefix filter matches no
+    probed prefix: ``wants()`` runs per selection but no event is ever
+    built — the worst case a ``repro explain`` replay imposes on the
+    rest of the run.  "Disabled" is the default no-recorder state.
+    """
+    filter_recorder = ProvenanceRecorder(
+        prefix_filter=["203.0.113.0/24"]   # matches nothing probed
+    )
+    filtered_times = []
+    disabled_times = []
+    with use_provenance(filter_recorder):
+        _one_convergence(ecosystem)
+    _one_convergence(ecosystem)
+    for _ in range(TRIALS):
+        with use_provenance(filter_recorder):
+            filtered_times.append(_one_convergence(ecosystem))
+        disabled_times.append(_one_convergence(ecosystem))
+    return min(filtered_times), min(disabled_times)
+
+
 def test_obs_overhead_under_budget():
     ecosystem = build_ecosystem(
         REEcosystemConfig(scale=BENCH_SCALE), seed=BENCH_SEED
@@ -78,6 +109,24 @@ def test_obs_overhead_under_budget():
     )
 
 
+def test_provenance_overhead_under_budget():
+    ecosystem = build_ecosystem(
+        REEcosystemConfig(scale=BENCH_SCALE), seed=BENCH_SEED
+    )
+    filtered, disabled = measure_provenance(ecosystem)
+    overhead = filtered / disabled - 1.0
+    print(
+        "\nprovenance overhead: filtered %.4fs  disabled %.4fs  "
+        "overhead %+.2f%%"
+        % (filtered, disabled, 100.0 * overhead)
+    )
+    assert filtered <= disabled * (1.0 + OVERHEAD_BUDGET), (
+        "provenance overhead %.1f%% exceeds %.0f%% budget"
+        % (100.0 * overhead, 100.0 * OVERHEAD_BUDGET)
+    )
+
+
 if __name__ == "__main__":
     test_obs_overhead_under_budget()
+    test_provenance_overhead_under_budget()
     print("ok")

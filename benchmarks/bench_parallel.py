@@ -46,7 +46,7 @@ def _timed_run(cls, ecosystem, **kwargs):
     return result, time.perf_counter() - t0, probe_time[0]
 
 
-def test_sharded_speedup(bench_ecosystem):
+def test_sharded_speedup(bench_ecosystem, bench_emit):
     eco = bench_ecosystem
     cpus = _cpus()
 
@@ -68,6 +68,14 @@ def test_sharded_speedup(bench_ecosystem):
             % (total, probe, serial_total / total, serial_probe / probe),
         ))
     show("Sharded runner — wall-clock vs serial", rows)
+    bench_emit.update(
+        cpus=cpus,
+        serial_total_seconds=round(serial_total, 4),
+        serial_probe_seconds=round(serial_probe, 4),
+    )
+    for workers, (_, total, probe) in sorted(runs.items()):
+        bench_emit["workers%d_total_seconds" % workers] = round(total, 4)
+        bench_emit["workers%d_probe_seconds" % workers] = round(probe, 4)
 
     # Results never depend on worker count, whatever the host.
     for workers, (result, _, _) in runs.items():

@@ -50,13 +50,19 @@ def _compare(table, paper):
     return rows
 
 
-def test_table1_internet2(benchmark, bench_inferences):
+def test_table1_internet2(benchmark, bench_inferences, bench_emit):
     _, internet2 = bench_inferences
     table = benchmark(build_table1, internet2)
     show("Table 1b — Internet2 experiment", _compare(table, PAPER_1B))
     always_re = table.row(InferenceCategory.ALWAYS_RE)
     assert 0.72 < always_re.prefix_share < 0.90
     assert table.row(InferenceCategory.SWITCH_TO_RE).prefix_share > 0.04
+    bench_emit.update({
+        category.value: round(
+            100.0 * table.row(category).prefix_share, 2
+        )
+        for category in PAPER_1B
+    })
 
 
 def test_table1_surf(benchmark, bench_inferences):

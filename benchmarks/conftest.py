@@ -5,9 +5,21 @@ and can be overridden with the ``REPRO_BENCH_SCALE`` environment
 variable (1.0 approximates the paper's population).  The expensive
 artefacts are built once per session; the per-table benchmarks measure
 the analysis stage and print a paper-vs-measured comparison.
+
+Every benchmark additionally emits a machine-readable
+``BENCH_<name>.json`` artifact (wall seconds, key counts, git SHA —
+see :func:`emit_bench`) into ``REPRO_BENCH_OUT`` (default: the
+current directory), so CI can archive and diff benchmark results
+across commits without scraping stdout.
 """
 
 from __future__ import annotations
+
+import json
+import re
+import subprocess
+import time
+from typing import Optional
 
 import os
 
@@ -22,6 +34,90 @@ BENCH_SEED = 20250605
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+# ----- machine-readable benchmark artifacts ---------------------------
+
+def bench_out_dir() -> str:
+    """Directory ``BENCH_<name>.json`` artifacts are written to."""
+    return os.environ.get("REPRO_BENCH_OUT", os.getcwd())
+
+
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
+def _benchmark_mean_seconds(benchmark) -> Optional[float]:
+    """Mean wall seconds from a pytest-benchmark fixture, if it ran.
+
+    Defensive: pytest-benchmark's stats layout has shifted across
+    versions, and a test may use the fixture without calling it.
+    """
+    if benchmark is None:
+        return None
+    try:
+        return float(benchmark.stats.stats.mean)
+    except Exception:
+        pass
+    try:
+        return float(benchmark.stats["mean"])
+    except Exception:
+        return None
+
+
+def emit_bench(name: str, seconds: float, counts: Optional[dict] = None) -> str:
+    """Write one ``BENCH_<name>.json`` artifact; returns its path.
+
+    ``seconds`` is the benchmark's headline wall time; ``counts`` holds
+    whatever key scalar outputs make the run comparable across commits
+    (message counts, prefix counts, category shares, ...).
+    """
+    payload = {
+        "bench": name,
+        "wall_seconds": seconds,
+        "counts": counts or {},
+        "git_sha": _git_sha(),
+        "scale": bench_scale(),
+        "seed": BENCH_SEED,
+    }
+    out_dir = bench_out_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_%s.json" % name)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+@pytest.fixture(autouse=True)
+def bench_emit(request):
+    """Auto-emit one ``BENCH_<name>.json`` per benchmark test.
+
+    Yields a dict the test may fill with key counts
+    (``bench_emit["messages"] = ...``).  On teardown the artifact is
+    written with the pytest-benchmark mean when the test used the
+    ``benchmark`` fixture, else the test's own wall time.
+    """
+    counts: dict = {}
+    started = time.perf_counter()
+    yield counts
+    wall = time.perf_counter() - started
+    mean = _benchmark_mean_seconds(request.node.funcargs.get("benchmark"))
+    name = re.sub(
+        r"[^A-Za-z0-9_.-]+", "_",
+        request.node.name.replace("test_", "", 1),
+    )
+    emit_bench(name, mean if mean is not None else wall, counts)
 
 
 @pytest.fixture(scope="session")

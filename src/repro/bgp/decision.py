@@ -60,9 +60,22 @@ def _oldest_route(routes: List[Route]) -> List[Route]:
 
 
 def _lowest_neighbor_asn(routes: List[Route]) -> List[Route]:
+    """Final deterministic tie-break: lowest neighbor ASN wins.
+
+    A route with ``learned_from=None`` has no neighbor to compare (it
+    is locally originated, or synthesised without provenance); it maps
+    to ``+inf`` so it *loses* to any route with a known neighbor rather
+    than silently beating all of them.  Locally originated routes never
+    reach this step in practice — their localpref
+    (:data:`~repro.bgp.router.LOCAL_ROUTE_LOCALPREF`) wins step one.
+    """
     return _keep_min(
         routes,
-        lambda r: r.learned_from if r.learned_from is not None else -1,
+        lambda r: (
+            r.learned_from
+            if r.learned_from is not None
+            else float("inf")
+        ),
     )
 
 
@@ -72,6 +85,17 @@ _STEP_FUNCTIONS = {
     Step.LOWEST_MED: _lowest_med,
     Step.OLDEST_ROUTE: _oldest_route,
     Step.LOWEST_NEIGHBOR_ASN: _lowest_neighbor_asn,
+}
+
+#: The raw attribute each step compares, for provenance reporting (the
+#: filter functions above compare derived keys — e.g. negated
+#: localpref — which would be confusing in an audit trail).
+_STEP_VALUES = {
+    Step.HIGHEST_LOCALPREF: lambda r: r.localpref,
+    Step.SHORTEST_AS_PATH: lambda r: r.path.length,
+    Step.LOWEST_MED: lambda r: r.med,
+    Step.OLDEST_ROUTE: lambda r: r.installed_at,
+    Step.LOWEST_NEIGHBOR_ASN: lambda r: r.learned_from,
 }
 
 DEFAULT_STEPS: Tuple[Step, ...] = (
@@ -137,6 +161,50 @@ class DecisionProcess:
                 % ("; ".join(str(route) for route in candidates),)
             )
         return candidates[0]
+
+    def best_verbose(
+        self, routes: Iterable[Route]
+    ) -> Tuple[Optional[Route], List[dict]]:
+        """Run the decision process and narrate it.
+
+        Returns ``(winner, steps)`` where *winner* is exactly what
+        :meth:`best` would return and *steps* is one dict per executed
+        step::
+
+            {"step": "highest-localpref",
+             "entering": [0, 1, 2],       # candidate indices in
+             "values": [100, 100, 90],    # the attribute compared
+             "survivors": [0, 1]}         # candidate indices out
+
+        Indices refer to positions in the *routes* argument, so callers
+        can pair them with their own candidate summaries.  Used by the
+        provenance layer (:mod:`repro.obs.provenance`); the plain
+        :meth:`best` stays allocation-free for the hot path.
+        """
+        candidates = list(routes)
+        steps: List[dict] = []
+        if not candidates:
+            return None, steps
+        index_of = {id(route): i for i, route in enumerate(candidates)}
+        surviving = candidates
+        for step in self.steps:
+            if len(surviving) == 1:
+                break
+            value_of = _STEP_VALUES[step]
+            entering = surviving
+            surviving = _STEP_FUNCTIONS[step](surviving)
+            steps.append({
+                "step": step.value,
+                "entering": [index_of[id(r)] for r in entering],
+                "values": [value_of(r) for r in entering],
+                "survivors": [index_of[id(r)] for r in surviving],
+            })
+        if len(surviving) > 1:
+            raise PolicyError(
+                "decision process did not yield a unique best route: %s"
+                % ("; ".join(str(route) for route in surviving),)
+            )
+        return surviving[0], steps
 
     def ranks_equal(self, a: Route, b: Route) -> bool:
         """True if *a* and *b* tie on every step before the final

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from ..errors import EngineError
 from ..netutil import Prefix
 from ..obs import get_logger, get_registry, span
+from ..obs.provenance import active_recorder, selection_event
 from ..topology.graph import Topology
 from .attributes import Announcement, ASPath, Route
 from .policy import may_export
@@ -268,7 +269,23 @@ def _deliver(
     if old is not None and old.learned_from is None:
         # Local routes always win; an origin never changes its best.
         return False
-    new = process.best(candidates)
+    recorder = active_recorder()
+    if recorder is not None and recorder.wants(result.prefix):
+        new, steps = process.best_verbose(candidates)
+        recorder.record(selection_event(
+            source="fastpath",
+            asn=receiver,
+            prefix=result.prefix,
+            candidates=candidates,
+            steps=steps,
+            winner_index=(
+                next(i for i, r in enumerate(candidates) if r is new)
+                if new is not None else None
+            ),
+            winning_step=steps[-1]["step"] if steps else None,
+        ))
+    else:
+        new = process.best(candidates)
     if new is None:
         if old is None:
             return False

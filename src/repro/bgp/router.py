@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..netutil import Prefix
+from ..obs.provenance import active_recorder, selection_event
 from .attributes import ASPath, Route
 from .decision import DecisionProcess
 from .policy import Rel, RoutingPolicy
@@ -53,7 +54,7 @@ class Router:
             tag=tag,
         )
         self.adj_rib_in.setdefault(prefix, {})[-1] = route
-        self._reselect(prefix)
+        self._reselect(prefix, now=now)
         return route
 
     def withdraw_local(self, prefix: Prefix) -> BestChange:
@@ -87,7 +88,7 @@ class Router:
             if existing is None:
                 return BestChange(False, self.loc_rib.get(prefix),
                                   self.loc_rib.get(prefix))
-            return self._reselect(prefix)
+            return self._reselect(prefix, now=now)
 
         localpref = self.policy.localpref_for(neighbor_asn, rel)
         previous = rib.get(neighbor_asn)
@@ -110,7 +111,7 @@ class Router:
             installed_at=now,
             tag=tag,
         )
-        return self._reselect(prefix)
+        return self._reselect(prefix, now=now)
 
     def drop_neighbor(self, neighbor_asn: int) -> List[Tuple[Prefix, BestChange]]:
         """Remove every adj-RIB-in entry from *neighbor_asn* (session
@@ -155,10 +156,32 @@ class Router:
 
     # ----- internals ------------------------------------------------------
 
-    def _reselect(self, prefix: Prefix) -> BestChange:
+    def _reselect(
+        self, prefix: Prefix, now: Optional[float] = None
+    ) -> BestChange:
         rib = self.adj_rib_in.get(prefix, {})
         old = self.loc_rib.get(prefix)
-        new = self.process.best([rib[key] for key in sorted(rib)])
+        candidates = [rib[key] for key in sorted(rib)]
+        recorder = active_recorder()
+        if recorder is not None and recorder.wants(prefix):
+            new, steps = self.process.best_verbose(candidates)
+            recorder.record(selection_event(
+                source="engine",
+                asn=self.asn,
+                prefix=prefix,
+                candidates=candidates,
+                steps=steps,
+                winner_index=(
+                    next(
+                        i for i, r in enumerate(candidates) if r is new
+                    )
+                    if new is not None else None
+                ),
+                winning_step=steps[-1]["step"] if steps else None,
+                time=now,
+            ))
+        else:
+            new = self.process.best(candidates)
         if new is None:
             self.loc_rib.pop(prefix, None)
         else:

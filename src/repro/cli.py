@@ -7,6 +7,10 @@
 - ``classify`` — re-run the per-prefix classification over a
   scamper-style JSONL results file produced by ``reproduce --export``
   or :func:`repro.dataio.dump_experiment_file`;
+- ``explain`` — replay one experiment and print the evidence chain
+  behind one probed prefix's inference category (per-round signals,
+  winning decision steps, transitions — see
+  :mod:`repro.core.explain`);
 - ``age-model`` — print the Figure 7 state diagrams;
 - ``funnel`` — print the §3.2 seed coverage funnel for a fresh
   ecosystem.
@@ -28,7 +32,13 @@ from .dataio.json_results import (
     load_experiment_records_file,
     signals_from_records,
 )
+from .errors import AnalysisError, ReproError
 from .obs import configure_logging, get_registry
+from .obs.provenance import (
+    DEFAULT_CAPACITY,
+    disable_provenance,
+    enable_provenance,
+)
 from .rng import SeedTree
 from .seeds import select_seeds
 from .topology.re_config import REEcosystemConfig
@@ -86,6 +96,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="prefixes per shard (default: split into 4 shards per "
              "worker); never changes results, only load balance",
     )
+    reproduce.add_argument(
+        "--provenance-out", metavar="FILE.jsonl",
+        help="record decision provenance (route selections, per-round "
+             "prefix signals) and write it as JSON lines after the run",
+    )
+    reproduce.add_argument(
+        "--provenance-capacity", type=int,
+        default=None, metavar="N",
+        help="provenance ring-buffer capacity in events (default: "
+             "%d; oldest events drop first)" % DEFAULT_CAPACITY,
+    )
+    reproduce.add_argument(
+        "--trace-out", metavar="FILE.json",
+        help="write the run's span tree as Chrome trace-event JSON "
+             "(loadable in chrome://tracing or Perfetto)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="explain one probed prefix's inference category",
+    )
+    explain.add_argument("prefix", help="probed prefix, e.g. 10.32.0.0/24")
+    explain.add_argument("--scale", type=float, default=0.1,
+                         help="population scale (1.0 = paper size)")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--experiment", choices=("surf", "internet2"), default="surf",
+    )
 
     classify = sub.add_parser(
         "classify", help="classify prefixes from a JSONL results file"
@@ -109,14 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_reproduce(args) -> int:
     if args.log_level:
         configure_logging(level=args.log_level, json_lines=args.log_json)
-    if args.metrics_out:
-        # Fail on an unwritable path now, not after the full run.
+    # Fail on unwritable output paths now, not after the full run.
+    for path in (args.metrics_out, args.provenance_out, args.trace_out):
+        if not path:
+            continue
         try:
-            with open(args.metrics_out, "a", encoding="utf-8"):
+            with open(path, "a", encoding="utf-8"):
                 pass
         except OSError as error:
-            print("cannot write metrics snapshot: %s" % error,
-                  file=sys.stderr)
+            print("cannot write %s: %s" % (path, error), file=sys.stderr)
             return 2
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -124,10 +163,22 @@ def _cmd_reproduce(args) -> int:
     if args.shard_size is not None and args.shard_size < 1:
         print("--shard-size must be >= 1", file=sys.stderr)
         return 2
-    report = reproduce_paper(
-        REEcosystemConfig(scale=args.scale), seed=args.seed,
-        workers=args.workers, shard_size=args.shard_size,
-    )
+    if args.provenance_capacity is not None and args.provenance_capacity < 1:
+        print("--provenance-capacity must be >= 1", file=sys.stderr)
+        return 2
+    recorder = None
+    if args.provenance_out:
+        recorder = enable_provenance(
+            capacity=args.provenance_capacity or DEFAULT_CAPACITY
+        )
+    try:
+        report = reproduce_paper(
+            REEcosystemConfig(scale=args.scale), seed=args.seed,
+            workers=args.workers, shard_size=args.shard_size,
+        )
+    finally:
+        if recorder is not None:
+            disable_provenance()
     print(report.render())
     if args.figures:
         from .core.figures import (
@@ -164,6 +215,43 @@ def _cmd_reproduce(args) -> int:
             stream.write(get_registry().to_json())
             stream.write("\n")
         print("wrote metrics snapshot to %s" % args.metrics_out)
+    if recorder is not None:
+        count = recorder.export_jsonl_file(args.provenance_out)
+        suffix = (
+            " (%d older events dropped by the ring)" % recorder.dropped
+            if recorder.dropped else ""
+        )
+        print("wrote %d provenance events to %s%s"
+              % (count, args.provenance_out, suffix))
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out)
+        print("wrote %d trace events to %s" % (count, args.trace_out))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .core.explain import explain_prefix
+
+    try:
+        narrative = explain_prefix(
+            args.prefix,
+            experiment=args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        # Unparseable prefix text.
+        print("bad prefix: %s" % error, file=sys.stderr)
+        return 2
+    except AnalysisError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(narrative)
     return 0
 
 
@@ -221,6 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "reproduce": _cmd_reproduce,
         "classify": _cmd_classify,
+        "explain": _cmd_explain,
         "age-model": _cmd_age_model,
         "funnel": _cmd_funnel,
     }

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import AnalysisError
 from ..experiment.records import ExperimentResult
 from ..netutil import Prefix
+from ..obs.provenance import signal_from_kinds
 
 
 class RoundSignal(Enum):
@@ -62,6 +63,26 @@ TABLE1_ORDER = (
 
 
 @dataclass
+class SignalTransition:
+    """One signal change between consecutive rounds — the unit of
+    evidence behind every switch/oscillation classification."""
+
+    round_index: int          # round where the *new* signal appeared
+    config: str               # that round's prepend configuration
+    from_signal: RoundSignal
+    to_signal: RoundSignal
+
+    def as_event_fields(self) -> Dict[str, object]:
+        """JSON-safe rendering (provenance / ``repro explain``)."""
+        return {
+            "round": self.round_index,
+            "config": self.config,
+            "from": self.from_signal.value,
+            "to": self.to_signal.value,
+        }
+
+
+@dataclass
 class PrefixInference:
     """Classification of one prefix in one experiment."""
 
@@ -71,6 +92,10 @@ class PrefixInference:
     signals: List[RoundSignal] = field(default_factory=list)
     switch_round: Optional[int] = None   # round index of the transition
     switch_config: Optional[str] = None  # its prepend configuration
+    #: Every round-to-round signal change, in round order — the full
+    #: justification chain for the category (switch categories have
+    #: exactly one entry; oscillating two or more).
+    transitions: List[SignalTransition] = field(default_factory=list)
 
     @property
     def characterized(self) -> bool:
@@ -105,11 +130,9 @@ def _round_signal(responses) -> RoundSignal:
         for response in responses
         if response.responded and response.interface_kind
     }
-    if not kinds:
-        return RoundSignal.NONE
-    if len(kinds) > 1:
-        return RoundSignal.BOTH
-    return RoundSignal.RE if "re" in kinds else RoundSignal.COMMODITY
+    # Single mapping shared with the provenance stream, so signal
+    # events and classifications can never disagree on a round.
+    return RoundSignal(signal_from_kinds(kinds))
 
 
 def classify_prefix_rounds(
@@ -123,21 +146,29 @@ def classify_prefix_rounds(
         raise AnalysisError("round count does not match config count")
     signals = [_round_signal(responses) for responses in per_round_responses]
     category = classify_signals(signals)
+    transitions = [
+        SignalTransition(
+            round_index=index + 1,
+            config=configs[index + 1],
+            from_signal=a,
+            to_signal=b,
+        )
+        for index, (a, b) in enumerate(zip(signals, signals[1:]))
+        if a is not b
+    ]
     inference = PrefixInference(
         prefix=prefix,
         origin_asn=origin_asn,
         category=category,
         signals=signals,
+        transitions=transitions,
     )
     if category in (
         InferenceCategory.SWITCH_TO_RE,
         InferenceCategory.SWITCH_TO_COMMODITY,
     ):
-        for index, (a, b) in enumerate(zip(signals, signals[1:])):
-            if a is not b:
-                inference.switch_round = index + 1
-                inference.switch_config = configs[index + 1]
-                break
+        inference.switch_round = transitions[0].round_index
+        inference.switch_config = transitions[0].config
     return inference
 
 

@@ -62,6 +62,11 @@ from ..obs import (
     span,
     use_registry,
 )
+from ..obs.provenance import (
+    active_recorder,
+    round_signal_summary,
+    signal_event,
+)
 from ..obs.spans import attach_completed, detached_trace
 from ..probing.forwarding import RibSnapshot
 from ..probing.prober import (
@@ -106,41 +111,80 @@ def _init_worker(state: _WorkerState) -> None:
     _WORKER = state
 
 
+@dataclass(frozen=True)
+class _ProvenanceSpec:
+    """Per-round provenance instructions shipped to shard workers.
+
+    Workers never touch the parent's recorder (the inline executor
+    shares its process, so recording there would double-count); they
+    build events locally and ship them back in
+    :class:`~repro.experiment.records.ShardOutcome.provenance`.
+    """
+
+    prefix_filter: Optional[frozenset] = None
+
+    def wants(self, prefix) -> bool:
+        return (
+            self.prefix_filter is None
+            or str(prefix) in self.prefix_filter
+        )
+
+
 def _probe_shard(
-    state: _WorkerState, spec: ShardSpec, snapshot: RibSnapshot
-) -> List[Optional[tuple]]:
+    state: _WorkerState,
+    spec: ShardSpec,
+    snapshot: RibSnapshot,
+    provenance: Optional[_ProvenanceSpec] = None,
+) -> "tuple[List[Optional[tuple]], List[dict]]":
     """Probe one shard's prefixes against the snapshot.
 
     Mirrors :meth:`repro.probing.prober.Prober.probe_round` exactly:
     same prefix order (the spec carries a contiguous slice of the
     round's sorted order), same per-prefix streams, same global-index
     pacing, and the shared :func:`probe_one` semantics.  Returns one
-    compact wire row per probe (:func:`response_row`), in probe order;
-    the parent rebuilds :class:`ProbeResponse` objects from them.
+    compact wire row per probe (:func:`response_row`), in probe order
+    (the parent rebuilds :class:`ProbeResponse` objects from them),
+    plus the shard's provenance signal events — one per prefix, built
+    from the same aggregation the serial prober uses, so the merged
+    stream matches the serial stream exactly.
     """
     origin_set = frozenset(state.interface_kinds)
     interface_kind_of = state.interface_kinds.__getitem__
     interval = 1.0 / state.pps
     index = spec.start_index
     rows: List[Optional[tuple]] = []
+    events: List[dict] = []
 
     def walk(start_asn: int):
         return snapshot.walk(start_asn, origin_set)
 
     for prefix in spec.prefixes:
         rng = prefix_stream_rng(spec.round_seed, prefix)
+        collect = provenance is not None and provenance.wants(prefix)
+        responses = [] if collect else None
         for target in state.targets[prefix]:
             response = probe_one(
                 state.systems.get(target.address),
                 target, walk, interface_kind_of, rng,
                 spec.started_at + index * interval,
             )
+            if responses is not None:
+                responses.append(response)
             rows.append(response_row(response))
             index += 1
-    return rows
+        if responses is not None:
+            events.append(signal_event(
+                prefix, spec.round_index, spec.config,
+                **round_signal_summary(responses),
+            ))
+    return rows, events
 
 
-def _run_shard(spec: ShardSpec, snapshot: RibSnapshot) -> ShardOutcome:
+def _run_shard(
+    spec: ShardSpec,
+    snapshot: RibSnapshot,
+    provenance: Optional[_ProvenanceSpec] = None,
+) -> ShardOutcome:
     """Worker entry point: probe one shard under isolated obs state."""
     if _WORKER is None:
         raise ExperimentError("shard worker used before initialisation")
@@ -148,7 +192,7 @@ def _run_shard(spec: ShardSpec, snapshot: RibSnapshot) -> ShardOutcome:
     started = time.perf_counter()
     with use_registry(registry), detached_trace():
         with span("runner.shard.%d" % spec.shard_id) as record:
-            rows = _probe_shard(_WORKER, spec, snapshot)
+            rows, events = _probe_shard(_WORKER, spec, snapshot, provenance)
         registry.counter("parallel.shard_probes").inc(len(rows))
         registry.counter("parallel.shards_completed").inc()
         trace = record.as_dict()
@@ -159,6 +203,7 @@ def _run_shard(spec: ShardSpec, snapshot: RibSnapshot) -> ShardOutcome:
         wall_seconds=time.perf_counter() - started,
         metrics=registry.snapshot(),
         trace=trace,
+        provenance=events,
     )
 
 
@@ -327,8 +372,14 @@ class ShardedRunner(ExperimentRunner):
                 self.ecosystem.measurement_prefix,
             )
         specs = self._shard_specs(index, config_label, engine.now)
+        recorder = active_recorder()
+        provenance = (
+            _ProvenanceSpec(prefix_filter=recorder.prefix_filter)
+            if recorder is not None else None
+        )
         futures = [
-            executor.submit(_run_shard, spec, snapshot) for spec in specs
+            executor.submit(_run_shard, spec, snapshot, provenance)
+            for spec in specs
         ]
         result = RoundResult(config=config_label, started_at=engine.now)
         registry = get_registry()
@@ -362,6 +413,10 @@ class ShardedRunner(ExperimentRunner):
                     if rebuilt:
                         result.responses[prefix] = rebuilt
                 total += outcome.probe_count
+                if recorder is not None and outcome.provenance:
+                    # Shard order == serial prefix order (contiguous
+                    # blocks), so the ring receives the serial stream.
+                    recorder.extend(outcome.provenance)
                 registry.merge_snapshot(outcome.metrics)
                 if outcome.trace is not None:
                     attach_completed(outcome.trace)

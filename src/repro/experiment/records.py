@@ -49,6 +49,12 @@ class ShardOutcome:
     parent registry; ``trace`` is the shard's completed span tree
     (:meth:`repro.obs.SpanRecord.as_dict`), re-attached under the
     parent's round span.
+
+    ``provenance`` carries the shard's ``kind="signal"`` provenance
+    events (one per probed prefix, in the shard's prefix order) when
+    the parent had a recorder active; the parent extends its ring with
+    them in shard order, reproducing the serial event stream byte for
+    byte (see :mod:`repro.obs.provenance`).
     """
 
     shard_id: int
@@ -57,6 +63,7 @@ class ShardOutcome:
     wall_seconds: float
     metrics: dict = field(default_factory=dict)
     trace: Optional[dict] = None
+    provenance: List[dict] = field(default_factory=list)
 
 
 @dataclass

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 from ..bgp.engine import PropagationEngine, UpdateEvent
 from ..errors import ExperimentError
 from ..obs import get_logger, get_registry, span
+from ..obs.provenance import active_recorder, selection_event
 from ..probing.forwarding import engine_rib
 from ..probing.host import MeasurementHost
 from ..probing.prober import Prober
@@ -161,6 +162,7 @@ class ExperimentRunner:
                 )
                 engine.advance_to(next_probe_at)
 
+                self._capture_round_provenance(engine, index, config_label)
                 round_result = self._probe_round(
                     engine, prober, rib, index, config_label
                 )
@@ -215,7 +217,60 @@ class ExperimentRunner:
             rib,
             self._round_seed_tree(index),
             engine.now,
+            round_index=index,
         )
+
+    def _capture_round_provenance(
+        self,
+        engine: PropagationEngine,
+        index: int,
+        config_label: str,
+    ) -> None:
+        """Record each probed prefix's route selection at probing time.
+
+        One ``source="round"`` selection event per probed prefix: the
+        decision its origin AS made for the *measurement* prefix the
+        instant round *index* probes it — the control-plane state the
+        round's signal reflects.  Runs in the parent for both serial
+        and sharded execution (the engine never leaves this process),
+        so the merged provenance stream is identical either way.
+        """
+        recorder = active_recorder()
+        if recorder is None:
+            return
+        measurement_prefix = self.ecosystem.measurement_prefix
+        origin_of = {
+            plan.prefix: plan.origin_asn
+            for plan in self.ecosystem.studied_prefixes()
+        }
+        for prefix in sorted(
+            self.seed_plan.targets, key=lambda p: (p.network, p.length)
+        ):
+            if not recorder.wants(prefix):
+                continue
+            origin_asn = origin_of.get(prefix)
+            if origin_asn is None:
+                continue
+            router = engine.router(origin_asn)
+            candidates = router.candidate_routes(measurement_prefix)
+            winner, steps = router.process.best_verbose(candidates)
+            recorder.record(selection_event(
+                source="round",
+                asn=origin_asn,
+                prefix=prefix,
+                candidates=candidates,
+                steps=steps,
+                winner_index=(
+                    next(
+                        i for i, r in enumerate(candidates) if r is winner
+                    )
+                    if winner is not None else None
+                ),
+                winning_step=steps[-1]["step"] if steps else None,
+                round_index=index,
+                config=config_label,
+                selection_prefix=measurement_prefix,
+            ))
 
     def _announce(
         self,

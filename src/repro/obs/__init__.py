@@ -8,7 +8,12 @@ Zero-dependency instrumentation for the engine → runner → CLI stack:
 - :mod:`repro.obs.spans` — ``with span("engine.run_to_fixpoint"):``
   wall-time histograms that nest into a lightweight trace tree;
 - :mod:`repro.obs.logging` — ``get_logger(name)`` emitting key=value
-  or JSON lines on stderr, silent until configured.
+  or JSON lines on stderr, silent until configured;
+- :mod:`repro.obs.provenance` — decision-provenance event stream
+  (route-selection steps, per-round prefix signals) in a bounded ring
+  buffer with JSONL export, disabled until a recorder is installed;
+- :mod:`repro.obs.export` — render completed span trees to Chrome
+  trace-event JSON (``chrome://tracing`` / Perfetto loadable).
 
 Everything is off-by-default and adds near-zero overhead when idle:
 hot paths accumulate into locals and flush per convergence run or per
@@ -26,9 +31,21 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .provenance import (
+    ProvenanceRecorder,
+    active_recorder,
+    disable_provenance,
+    enable_provenance,
+    use_provenance,
+)
 from .spans import SpanRecord, current_span, finished_roots, reset_trace, span
 
 __all__ = [
+    "ProvenanceRecorder",
+    "active_recorder",
+    "enable_provenance",
+    "disable_provenance",
+    "use_provenance",
     "Counter",
     "Gauge",
     "Histogram",

@@ -23,6 +23,11 @@ from typing import Callable, Dict, List, Optional
 from ..errors import ExperimentError
 from ..netutil import Prefix
 from ..obs import get_logger, get_registry, span
+from ..obs.provenance import (
+    active_recorder,
+    round_signal_summary,
+    signal_event,
+)
 from ..rng import SeedTree, derive_seed
 from ..topology.graph import Topology
 from ..topology.re_config import SystemPlan
@@ -167,16 +172,20 @@ class Prober:
         best_route_of: Callable[[int], object],
         seed_tree: SeedTree,
         now: float,
+        round_index: Optional[int] = None,
     ) -> RoundResult:
         """Probe every target once, pacing at ``pps``.
 
         *seed_tree* is the round's seed node; each prefix derives its
         own probe stream from it (see :func:`prefix_stream_rng`).
+        *round_index* only labels provenance signal events; it never
+        affects probing.
         """
         result = RoundResult(config=config, started_at=now)
         origin_set = set(self.host.origin_asns())
         interval = 1.0 / self.pps
         index = 0
+        recorder = active_recorder()
         with span("prober.round"):
             for prefix in sorted(
                 targets_by_prefix, key=lambda p: (p.network, p.length)
@@ -189,6 +198,13 @@ class Prober:
                     )
                     result.responses.setdefault(prefix, []).append(response)
                     index += 1
+                if recorder is not None and recorder.wants(prefix):
+                    recorder.record(signal_event(
+                        prefix, round_index, config,
+                        **round_signal_summary(
+                            result.responses.get(prefix, [])
+                        ),
+                    ))
         result.duration = index * interval
         self._flush_metrics(result)
         return result

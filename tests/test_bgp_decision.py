@@ -61,11 +61,16 @@ class TestStandardProcess:
         b = route(3, age=1.0)
         assert DecisionProcess.standard().best([a, b]) is b
 
-    def test_local_route_sorts_first_on_neighbor_step(self):
-        local = Route(PFX, ASPath((64500,)), None, 100)
-        other = route(1, path_len=1)
-        best = DecisionProcess.standard().best([local, other])
-        assert best is local
+    def test_unknown_neighbor_loses_final_tiebreak(self):
+        """A route with no ``learned_from`` maps to +inf on the
+        neighbor-ASN step: an *unknown* neighbor must lose the final
+        tie-break, not silently beat every known one.  (Locally
+        originated routes never reach this step in practice — their
+        localpref wins step one.)"""
+        unknown = Route(PFX, ASPath((64500,)), None, 100)
+        known = route(1, path_len=1)
+        best = DecisionProcess.standard().best([unknown, known])
+        assert best is known
 
     def test_duplicate_survivors_raise(self):
         a = route(1)

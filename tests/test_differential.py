@@ -12,6 +12,8 @@ classifications, and the rendered report.
 2), so CI can run the suite at several counts without editing tests.
 """
 
+import io
+import json
 import os
 
 import pytest
@@ -24,9 +26,11 @@ from repro import (
 )
 from repro.bgp.engine import PropagationEngine
 from repro.core.classify import classify_experiment, origin_map
+from repro.core.explain import render_explanation
 from repro.core.report import reproduce_paper
 from repro.experiment.parallel import ShardedRunner
 from repro.experiment.runner import ExperimentRunner
+from repro.obs.provenance import ProvenanceRecorder, use_provenance
 from repro.rng import SeedTree
 
 #: Multi-process worker count exercised by the grid (CI matrix knob).
@@ -37,6 +41,18 @@ WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 GRID = [(0, 0.06), (7, 0.06)]
 
 
+def _run_with_provenance(runner):
+    """Run one experiment with a fresh recorder; returns the result
+    and the exported provenance stream as JSONL text."""
+    recorder = ProvenanceRecorder()
+    with use_provenance(recorder):
+        result = runner.run()
+    assert recorder.dropped == 0, "ring overflow would break identity"
+    buffer = io.StringIO()
+    recorder.export_jsonl(buffer)
+    return result, buffer.getvalue()
+
+
 @pytest.fixture(
     scope="module",
     params=GRID,
@@ -44,22 +60,26 @@ GRID = [(0, 0.06), (7, 0.06)]
 )
 def diff_case(request):
     """One grid cell: the serial run plus three sharded variants that
-    must all be equal to it."""
+    must all be equal to it (results *and* provenance streams)."""
     seed, scale = request.param
     ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
-    serial = ExperimentRunner(ecosystem, "surf", seed=seed).run()
-    variants = {
-        "workers=1": ShardedRunner(
-            ecosystem, "surf", seed=seed, workers=1
-        ).run(),
+    serial, serial_jsonl = _run_with_provenance(
+        ExperimentRunner(ecosystem, "surf", seed=seed)
+    )
+    variants = {}
+    provenance = {"serial": serial_jsonl}
+    sharded = {
+        "workers=1": ShardedRunner(ecosystem, "surf", seed=seed, workers=1),
         "workers=1 shard_size=7": ShardedRunner(
             ecosystem, "surf", seed=seed, workers=1, shard_size=7
-        ).run(),
+        ),
         "workers=%d" % WORKERS: ShardedRunner(
             ecosystem, "surf", seed=seed, workers=WORKERS
-        ).run(),
+        ),
     }
-    return ecosystem, serial, variants
+    for label, runner in sharded.items():
+        variants[label], provenance[label] = _run_with_provenance(runner)
+    return ecosystem, serial, variants, provenance
 
 
 def _round_key(round_result):
@@ -73,13 +93,13 @@ def _round_key(round_result):
 
 class TestShardedMatchesSerial:
     def test_rounds_identical(self, diff_case):
-        _, serial, variants = diff_case
+        _, serial, variants, _ = diff_case
         expected = [_round_key(r) for r in serial.rounds]
         for label, result in variants.items():
             assert [_round_key(r) for r in result.rounds] == expected, label
 
     def test_round_convergence_identical(self, diff_case):
-        _, serial, variants = diff_case
+        _, serial, variants, _ = diff_case
         expected = [
             [stats.replay_key() for stats in round_stats]
             for round_stats in serial.round_convergence
@@ -92,14 +112,14 @@ class TestShardedMatchesSerial:
             assert got == expected, label
 
     def test_update_log_and_feeders_identical(self, diff_case):
-        _, serial, variants = diff_case
+        _, serial, variants, _ = diff_case
         for label, result in variants.items():
             assert result.update_log == serial.update_log, label
             assert result.feeder_views == serial.feeder_views, label
             assert result.outages_applied == serial.outages_applied, label
 
     def test_classifications_identical(self, diff_case):
-        ecosystem, serial, variants = diff_case
+        ecosystem, serial, variants, _ = diff_case
         origins = origin_map(ecosystem)
         expected = {
             prefix: inference.category
@@ -113,6 +133,68 @@ class TestShardedMatchesSerial:
                 classify_experiment(result, origins).inferences.items()
             }
             assert got == expected, label
+
+
+class TestProvenanceDifferential:
+    """The provenance stream — every selection and signal event, in
+    order — is byte-identical at every worker count and shard size."""
+
+    def test_streams_byte_identical(self, diff_case):
+        _, _, _, provenance = diff_case
+        serial_jsonl = provenance["serial"]
+        assert serial_jsonl, "serial run emitted no provenance"
+        for label, jsonl in provenance.items():
+            if label == "serial":
+                continue
+            assert jsonl == serial_jsonl, (
+                "%s provenance diverged from serial" % label
+            )
+
+    def test_stream_covers_every_probed_prefix_round(self, diff_case):
+        ecosystem, serial, _, provenance = diff_case
+        events = [
+            json.loads(line)
+            for line in provenance["serial"].splitlines()
+        ]
+        signals = [e for e in events if e["kind"] == "signal"]
+        probed = {
+            str(p) for r in serial.rounds for p in r.responses
+        }
+        assert {e["prefix"] for e in signals} == probed
+        per_prefix_rounds = len(serial.rounds)
+        counts = {}
+        for event in signals:
+            counts[event["prefix"]] = counts.get(event["prefix"], 0) + 1
+        assert set(counts.values()) == {per_prefix_rounds}
+
+    def test_explain_narrative_identical(self, diff_case):
+        """The ``repro explain`` rendering built from a sharded run's
+        stream matches the serial one byte for byte."""
+        ecosystem, serial, _, provenance = diff_case
+        origins = origin_map(ecosystem)
+        inferences = classify_experiment(serial, origins).inferences
+        prefix, inference = sorted(
+            inferences.items(),
+            key=lambda item: (item[0].network, item[0].length),
+        )[0]
+
+        def narrative(jsonl):
+            events = [json.loads(line) for line in jsonl.splitlines()]
+            mine = [e for e in events if e["prefix"] == str(prefix)]
+            return render_explanation(
+                inference,
+                "surf",
+                [e for e in mine if e["kind"] == "signal"],
+                [e for e in mine if e["kind"] == "selection"
+                 and e.get("source") == "round"],
+            )
+
+        expected = narrative(provenance["serial"])
+        assert str(prefix) in expected
+        for label, jsonl in provenance.items():
+            if label == "serial":
+                continue
+            assert narrative(jsonl) == expected, label
 
 
 class TestReportText:

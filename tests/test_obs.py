@@ -223,6 +223,72 @@ class TestLogging:
             configure_logging(level="verbose")
 
 
+class TestLoggingEdgeCases:
+    def test_json_mode_stringifies_unserialisable_values(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=True, stream=stream)
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        get_logger("repro.test").info(
+            "payload", obj=Opaque(), exc=ValueError("nope"),
+        )
+        record = json.loads(stream.getvalue())
+        assert record["msg"] == "payload"
+        assert record["obj"] == "<opaque thing>"
+        assert record["exc"] == "nope"
+
+    def test_kv_mode_quotes_awkward_values(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("repro.test").info(
+            "q", spaced="a b", eq="k=v", quoted='say "hi"',
+        )
+        line = stream.getvalue().strip()
+        assert 'spaced="a b"' in line
+        assert 'eq="k=v"' in line
+        assert '\\"hi\\"' in line
+
+    def test_off_level_silences_after_enabling(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        logger = get_logger("repro.test")
+        logger.info("first")
+        configure_logging(level="off", stream=stream)
+        logger.error("second")
+        assert "first" in stream.getvalue()
+        assert "second" not in stream.getvalue()
+        assert not logger.is_enabled_for("error")
+
+    def test_concurrent_emit_keeps_lines_intact(self):
+        import threading
+
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=True, stream=stream)
+        logger = get_logger("repro.test")
+
+        def worker(tag):
+            for index in range(100):
+                logger.info("tick", tag=tag, n=index)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 400
+        seen = set()
+        for line in lines:
+            record = json.loads(line)   # every line parses whole
+            seen.add((record["tag"], record["n"]))
+        assert len(seen) == 400
+
+
 class TestEngineInstrumentation:
     @pytest.fixture(scope="class")
     def small_ecosystem(self):
