@@ -1,0 +1,94 @@
+"""Guard: the fault-injection machinery, disabled, must add <5%
+overhead to a sharded experiment run.
+
+Every sharded round now consults the fault plan (``_shard_directives``)
+and funnels each shard future through the recovery wrapper
+(``_shard_outcome``).  With no plan those paths are empty-plan guards
+and a bare ``future.result()`` — this benchmark pins that cost against
+a stripped runner with the hooks stubbed out, interleaving min-of-N
+trials so scheduler noise and thermal drift cancel.
+
+Run directly (``python benchmarks/bench_faults.py``) or via pytest
+(``PYTHONPATH=src python -m pytest benchmarks/bench_faults.py``);
+emits ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import REEcosystemConfig, build_ecosystem
+from repro.experiment.parallel import ShardedRunner
+
+#: Allowed overhead of the disabled fault machinery, as a fraction.
+OVERHEAD_BUDGET = 0.05
+
+#: Alternating timed trials per variant; min-of-N rejects noise.
+TRIALS = 5
+
+BENCH_SCALE = 0.1
+BENCH_SEED = 42
+
+
+class _BareRunner(ShardedRunner):
+    """The hardened runner with every fault hook stubbed out — the
+    pre-hardening hot path, used as the overhead baseline."""
+
+    def _shard_directives(self, index, specs):
+        return {}
+
+    def _shard_outcome(self, spec, snapshot, provenance, fault, future):
+        return future.result()
+
+    def _round_lossy_prefixes(self, index):
+        return frozenset()
+
+    def _apply_fault_flaps(self, engine, round_index, result):
+        return []
+
+
+def _one_run(cls, ecosystem) -> float:
+    """Wall seconds for one full sharded experiment run."""
+    runner = cls(ecosystem, "surf", seed=BENCH_SEED, workers=1)
+    start = time.perf_counter()
+    runner.run()
+    return time.perf_counter() - start
+
+
+def measure(ecosystem):
+    """(hardened_best, bare_best) wall seconds, interleaved."""
+    hardened_times = []
+    bare_times = []
+    _one_run(ShardedRunner, ecosystem)  # warm-up, untimed
+    _one_run(_BareRunner, ecosystem)
+    for _ in range(TRIALS):
+        hardened_times.append(_one_run(ShardedRunner, ecosystem))
+        bare_times.append(_one_run(_BareRunner, ecosystem))
+    return min(hardened_times), min(bare_times)
+
+
+def test_faults(bench_emit=None):
+    ecosystem = build_ecosystem(
+        REEcosystemConfig(scale=BENCH_SCALE), seed=BENCH_SEED
+    )
+    hardened, bare = measure(ecosystem)
+    overhead = hardened / bare - 1.0
+    print(
+        "\nfault machinery overhead: hardened %.4fs  bare %.4fs  "
+        "overhead %+.2f%%"
+        % (hardened, bare, 100.0 * overhead)
+    )
+    if bench_emit is not None:
+        bench_emit["hardened_seconds"] = hardened
+        bench_emit["bare_seconds"] = bare
+        bench_emit["overhead_fraction"] = overhead
+    assert hardened <= bare * (1.0 + OVERHEAD_BUDGET), (
+        "disabled fault injection adds %.1f%% overhead, over the "
+        "%.0f%% budget"
+        % (100.0 * overhead, 100.0 * OVERHEAD_BUDGET)
+    )
+
+
+if __name__ == "__main__":
+    test_faults()
+    print("ok")

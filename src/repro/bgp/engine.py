@@ -68,6 +68,11 @@ class ConvergenceStats:
     converged_at: float = 0.0
     #: Messages enqueued during this run (deliveries trigger exports).
     messages_sent: int = 0
+    #: Messages discarded because their link was down at delivery
+    #: time.  Tracked separately from ``messages_delivered`` so outage
+    #: churn cannot inflate ``limit_proximity`` or trip the
+    #: dispute-wheel cap: only real deliveries count toward the limit.
+    messages_dropped: int = 0
     #: Deepest the pending-message heap got during this run.
     peak_heap_depth: int = 0
     #: Wall-clock seconds the run took (simulated time is
@@ -89,6 +94,7 @@ class ConvergenceStats:
         produce equal replay keys."""
         return (
             self.messages_delivered,
+            self.messages_dropped,
             self.best_changes,
             self.started_at,
             self.converged_at,
@@ -215,11 +221,14 @@ class PropagationEngine:
         change = router.withdraw_local(prefix)
         if change.changed:
             self._record_change(origin_asn, prefix, change.new)
-            self._export_after_change(origin_asn, prefix)
-        else:
-            for neighbor in sorted(self.topology.neighbors(origin_asn)):
-                if not self._link_is_down(origin_asn, neighbor):
-                    self._send(origin_asn, neighbor, prefix, None, "")
+        # Export through the same per-neighbor policy checks every
+        # other export takes (_export_to_neighbor): a neighbor behind
+        # no_export_to / blocked export never saw the route, so it
+        # must not receive a spurious withdraw — and when the loc-RIB
+        # best is unchanged (the local route was not best), neighbors
+        # get the still-current best re-exported, not a withdraw that
+        # would clear a route they should keep.
+        self._export_after_change(origin_asn, prefix)
 
     def set_link_down(self, a: int, b: int) -> None:
         """Fail the a-b link: both sides lose routes learned over it."""
@@ -231,6 +240,11 @@ class PropagationEngine:
             for prefix, change in router.drop_neighbor(remote):
                 self._record_change(local, prefix, change.new)
                 self._export_after_change(local, prefix)
+
+    def link_is_down(self, a: int, b: int) -> bool:
+        """True if the a-b link is currently failed (scheduled outage
+        or fault-plan flap)."""
+        return self._link_is_down(a, b)
 
     def set_link_up(self, a: int, b: int) -> None:
         """Restore the a-b link and re-advertise current bests across it."""
@@ -249,6 +263,7 @@ class PropagationEngine:
             started_at=self.now, message_limit=self._message_limit
         )
         delivered = 0
+        dropped = 0
         changes = 0
         peak_depth = len(self._heap)
         sent_before = self._messages_sent
@@ -260,13 +275,17 @@ class PropagationEngine:
                 message = heapq.heappop(self._heap)
                 if message.deliver_at > self.now:
                     self.now = message.deliver_at
+                if self._link_is_down(message.sender, message.receiver):
+                    # Lost on a failed link: not a delivery, so it
+                    # counts toward neither the dispute-wheel limit
+                    # nor limit_proximity.
+                    dropped += 1
+                    continue
                 delivered += 1
                 if delivered > self._message_limit:
                     raise EngineError(
                         "message limit exceeded: likely policy dispute wheel"
                     )
-                if self._link_is_down(message.sender, message.receiver):
-                    continue
                 receiver = self.router(message.receiver)
                 rel = self.topology.rel(message.receiver, message.sender)
                 path = message.path
@@ -292,6 +311,7 @@ class PropagationEngine:
                     )
                     self._export_after_change(message.receiver, message.prefix)
         stats.messages_delivered = delivered
+        stats.messages_dropped = dropped
         stats.best_changes = changes
         stats.converged_at = self.now
         stats.messages_sent = self._messages_sent - sent_before
@@ -308,6 +328,9 @@ class PropagationEngine:
         registry.counter("engine.runs").inc()
         registry.counter("engine.messages_delivered").inc(
             stats.messages_delivered
+        )
+        registry.counter("engine.messages_dropped").inc(
+            stats.messages_dropped
         )
         registry.counter("engine.best_changes").inc(stats.best_changes)
         # Sends can happen outside run_to_fixpoint (announce/withdraw/
@@ -334,6 +357,7 @@ class PropagationEngine:
             _log.debug(
                 "fixpoint reached",
                 delivered=stats.messages_delivered,
+                dropped=stats.messages_dropped,
                 sent=stats.messages_sent,
                 best_changes=stats.best_changes,
                 sim_duration=round(stats.duration, 3),

@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -33,6 +34,7 @@ from .dataio.json_results import (
     signals_from_records,
 )
 from .errors import AnalysisError, ReproError
+from .faults import FaultError, FaultPlan
 from .obs import configure_logging, get_registry
 from .obs.provenance import (
     DEFAULT_CAPACITY,
@@ -112,6 +114,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run's span tree as Chrome trace-event JSON "
              "(loadable in chrome://tracing or Perfetto)",
     )
+    reproduce.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="inject scripted faults derived from the seed, e.g. "
+             "'crash=1,hang=1,loss=2,flap=1' (kinds: crash/hang/loss/"
+             "flap).  Crashes and hangs are recovered without changing "
+             "the report; loss bursts and link flaps change it "
+             "deterministically",
+    )
+    reproduce.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard execution timeout; a shard exceeding it is "
+             "retried and, as a last resort, re-run inline "
+             "(default: no timeout)",
+    )
+    reproduce.add_argument(
+        "--degradations-out", metavar="FILE.json",
+        help="write a JSON report of every shard retry/fallback the "
+             "run survived (worker crashes, timeouts)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -148,7 +169,8 @@ def _cmd_reproduce(args) -> int:
     if args.log_level:
         configure_logging(level=args.log_level, json_lines=args.log_json)
     # Fail on unwritable output paths now, not after the full run.
-    for path in (args.metrics_out, args.provenance_out, args.trace_out):
+    for path in (args.metrics_out, args.provenance_out, args.trace_out,
+                 args.degradations_out):
         if not path:
             continue
         try:
@@ -163,9 +185,19 @@ def _cmd_reproduce(args) -> int:
     if args.shard_size is not None and args.shard_size < 1:
         print("--shard-size must be >= 1", file=sys.stderr)
         return 2
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        print("--shard-timeout must be positive", file=sys.stderr)
+        return 2
     if args.provenance_capacity is not None and args.provenance_capacity < 1:
         print("--provenance-capacity must be >= 1", file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_spec(args.fault_plan, args.seed)
+        except FaultError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     recorder = None
     if args.provenance_out:
         recorder = enable_provenance(
@@ -175,6 +207,7 @@ def _cmd_reproduce(args) -> int:
         report = reproduce_paper(
             REEcosystemConfig(scale=args.scale), seed=args.seed,
             workers=args.workers, shard_size=args.shard_size,
+            fault_plan=fault_plan, shard_timeout=args.shard_timeout,
         )
     finally:
         if recorder is not None:
@@ -228,6 +261,36 @@ def _cmd_reproduce(args) -> int:
 
         count = write_chrome_trace(args.trace_out)
         print("wrote %d trace events to %s" % (count, args.trace_out))
+    degradations = [
+        record.as_dict()
+        for result in (report.surf_result, report.internet2_result)
+        for record in result.degradations
+    ]
+    if degradations:
+        # Stderr, not stdout: degradations describe how the run
+        # executed, never what it measured — stdout stays
+        # byte-identical to a fault-free run's.
+        print(
+            "survived %d shard degradation(s) "
+            "(%d retried, %d inline fallbacks); results unaffected"
+            % (
+                len(degradations),
+                sum(1 for d in degradations if d["action"] == "retry"),
+                sum(1 for d in degradations if d["action"] == "fallback"),
+            ),
+            file=sys.stderr,
+        )
+    if args.degradations_out:
+        with open(args.degradations_out, "w", encoding="utf-8") as stream:
+            json.dump(
+                {
+                    "fault_plan": fault_plan.counts() if fault_plan else {},
+                    "degradations": degradations,
+                },
+                stream, indent=2, sort_keys=True,
+            )
+            stream.write("\n")
+        print("wrote degradation report to %s" % args.degradations_out)
     return 0
 
 

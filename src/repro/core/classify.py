@@ -206,12 +206,23 @@ def classify_experiment(
     configs = list(result.schedule.configs)
     out = ExperimentInference(experiment=result.experiment)
     for prefix in result.seed_plan.targets:
+        origin_asn = origin_of.get(prefix)
+        if origin_asn is None:
+            # A bare KeyError here named nothing, while the runner's
+            # provenance capture silently skipped the same mismatch —
+            # fail loudly and say which prefix fell between the
+            # probing plan and the origin map.
+            raise AnalysisError(
+                "probed prefix %s has no origin in the ecosystem's "
+                "origin map; the seed plan and origin_of disagree"
+                % prefix
+            )
         per_round = [
             round_result.responses.get(prefix, [])
             for round_result in result.rounds
         ]
         out.inferences[prefix] = classify_prefix_rounds(
-            prefix, origin_of[prefix], per_round, configs
+            prefix, origin_asn, per_round, configs
         )
     return out
 

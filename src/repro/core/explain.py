@@ -198,16 +198,45 @@ _CATEGORY_NOTES = {
 }
 
 
+def _degradation_lines(degradations) -> List[str]:
+    """Narrate shard recoveries so the reader knows a round survived a
+    worker loss — and that, by the recovery contract, the evidence
+    above is unaffected by it."""
+    if not degradations:
+        return []
+    lines = ["", "Execution notes:"]
+    for record in degradations:
+        how = (
+            "recovered by retry (attempt %d)" % record.attempts
+            if record.action == "retry"
+            else "re-executed inline after %d failed attempts"
+            % (record.attempts - 1)
+        )
+        lines.append(
+            "  round %d (config %s): shard %d survived %s; %s — "
+            "results unaffected"
+            % (record.round_index, record.config, record.shard_id,
+               record.detail or "an execution failure", how)
+        )
+    return lines
+
+
 def render_explanation(
     inference: PrefixInference,
     experiment: str,
     signal_events: List[dict],
     round_selections: List[dict],
+    degradations=None,
 ) -> str:
     """Render the narrative for one classified prefix.
 
     *signal_events* and *round_selections* are the prefix's recorded
     ``kind="signal"`` and ``source="round"`` provenance events.
+    *degradations* (optional
+    :class:`~repro.experiment.records.DegradationRecord` list) adds an
+    "Execution notes" section describing shard recoveries the run
+    survived; a fault-free serial replay passes none, leaving the
+    narrative unchanged.
     """
     signals = _by_round(signal_events)
     selections = _by_round(round_selections)
@@ -259,6 +288,7 @@ def render_explanation(
         lines.extend(_switch_to_commodity_evidence(inference, selections))
     else:
         lines.append(_CATEGORY_NOTES[inference.category])
+    lines.extend(_degradation_lines(degradations))
     return "\n".join(lines)
 
 
@@ -314,4 +344,5 @@ def explain_prefix(
         experiment,
         recorder.events(kind="signal", prefix=prefix),
         recorder.events(kind="selection", prefix=prefix, source="round"),
+        degradations=result.degradations,
     )

@@ -42,18 +42,41 @@ Observability: each shard worker runs under an isolated metrics
 registry and a detached span stack; its registry snapshot is merged
 into the parent registry and its completed ``runner.shard.<n>`` span
 tree is re-attached under the parent's ``runner.round.<config>`` span.
+
+Fault tolerance
+---------------
+Shard execution is a pure function of ``(spec, snapshot, worker
+state)``, so a shard that dies can always be re-executed without
+changing results.  The runner exploits that: ``future.result`` is
+bounded by ``shard_timeout``, and a failed shard — worker crash
+(``BrokenProcessPool``), timeout, or an injected
+:class:`~repro.faults.InjectedFault` — is retried up to
+``max_retries`` times with exponential backoff (rebuilding the pool
+when it broke), then re-executed *inline* in the parent as a last
+resort.  A recovered run is therefore byte-identical to a fault-free
+one; what happened is recorded in
+:class:`~repro.experiment.records.DegradationRecord` entries,
+``runner.shard_retries`` / ``runner.shard_fallbacks`` /
+``runner.faults_injected`` counters, and ``kind="degradation"``
+provenance events (excluded from JSONL export by default).  Faults
+can be injected deterministically from the experiment seed via a
+:class:`~repro.faults.FaultPlan`.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import ExperimentError
+from ..faults import FaultDirective, FaultKind, InjectedFault
 from ..netutil import Prefix
 from ..obs import (
     MetricsRegistry,
@@ -64,6 +87,7 @@ from ..obs import (
 )
 from ..obs.provenance import (
     active_recorder,
+    degradation_event,
     round_signal_summary,
     signal_event,
 )
@@ -79,17 +103,51 @@ from ..probing.prober import (
 )
 from ..seeds.selection import ProbeTarget
 from ..topology.re_config import SystemPlan
-from .records import ShardOutcome, ShardSpec
+from .records import DegradationRecord, ShardOutcome, ShardSpec
 from .runner import ExperimentRunner
 
-__all__ = ["ShardedRunner", "DEFAULT_SHARDS_PER_WORKER"]
+__all__ = [
+    "ShardedRunner",
+    "DEFAULT_SHARDS_PER_WORKER",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_BACKOFF_BASE",
+]
 
 #: Default oversubscription: shards per worker when ``shard_size`` is
 #: not given.  More shards than workers smooths load imbalance from
 #: prefixes with different hop counts; the value never affects results.
 DEFAULT_SHARDS_PER_WORKER = 4
 
+#: Default bounded-retry budget per failed shard before the runner
+#: falls back to inline re-execution in the parent process.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential backoff between shard retries (seconds):
+#: retry *n* sleeps ``base * 2**(n-1)``.  Small — a crashed worker
+#: needs the pool rebuilt, not a long cool-down.
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Failures a shard recovers from.  ``FuturesTimeout`` is a distinct
+#: class on Python 3.10 and an alias of the builtin ``TimeoutError``
+#: from 3.11 on, so both are listed.
+_RECOVERABLE_FAULTS = (
+    BrokenProcessPool,
+    FuturesTimeout,
+    TimeoutError,
+    InjectedFault,
+)
+
 _log = get_logger("repro.parallel")
+
+
+def _describe_failure(error: BaseException) -> str:
+    if isinstance(error, BrokenProcessPool):
+        return "worker-crash"
+    if isinstance(error, (FuturesTimeout, TimeoutError)):
+        return "timeout"
+    if isinstance(error, InjectedFault):
+        return "injected-crash"
+    return type(error).__name__
 
 
 @dataclass(frozen=True)
@@ -135,6 +193,7 @@ def _probe_shard(
     spec: ShardSpec,
     snapshot: RibSnapshot,
     provenance: Optional[_ProvenanceSpec] = None,
+    lossy_prefixes: frozenset = frozenset(),
 ) -> "tuple[List[Optional[tuple]], List[dict]]":
     """Probe one shard's prefixes against the snapshot.
 
@@ -162,11 +221,13 @@ def _probe_shard(
         rng = prefix_stream_rng(spec.round_seed, prefix)
         collect = provenance is not None and provenance.wants(prefix)
         responses = [] if collect else None
+        blanked = prefix in lossy_prefixes
         for target in state.targets[prefix]:
             response = probe_one(
                 state.systems.get(target.address),
                 target, walk, interface_kind_of, rng,
                 spec.started_at + index * interval,
+                force_loss=blanked,
             )
             if responses is not None:
                 responses.append(response)
@@ -184,15 +245,39 @@ def _run_shard(
     spec: ShardSpec,
     snapshot: RibSnapshot,
     provenance: Optional[_ProvenanceSpec] = None,
+    fault: Optional[FaultDirective] = None,
 ) -> ShardOutcome:
-    """Worker entry point: probe one shard under isolated obs state."""
+    """Worker entry point: probe one shard under isolated obs state.
+
+    *fault* is the shard's injection directive.  Execution faults fire
+    before any probing: a crash kills the worker process outright
+    (``os._exit`` — the parent sees ``BrokenProcessPool``) or, when no
+    process boundary exists (inline executor), raises
+    :class:`InjectedFault`; a hang sleeps past the parent's
+    ``shard_timeout``.  The environment fault — ``lossy_prefixes`` —
+    blanks those prefixes' probes and *does* survive retries, since it
+    is part of the simulated world, not the machinery.
+    """
     if _WORKER is None:
         raise ExperimentError("shard worker used before initialisation")
+    lossy: frozenset = frozenset()
+    if fault is not None:
+        if fault.crash:
+            if multiprocessing.parent_process() is not None:
+                os._exit(1)
+            raise InjectedFault(
+                "injected worker crash in shard %d" % spec.shard_id
+            )
+        if fault.hang_seconds > 0.0:
+            time.sleep(fault.hang_seconds)
+        lossy = fault.lossy_prefixes
     registry = MetricsRegistry()
     started = time.perf_counter()
     with use_registry(registry), detached_trace():
         with span("runner.shard.%d" % spec.shard_id) as record:
-            rows, events = _probe_shard(_WORKER, spec, snapshot, provenance)
+            rows, events = _probe_shard(
+                _WORKER, spec, snapshot, provenance, lossy
+            )
         registry.counter("parallel.shard_probes").inc(len(rows))
         registry.counter("parallel.shards_completed").inc()
         trace = record.as_dict()
@@ -252,6 +337,18 @@ class ShardedRunner(ExperimentRunner):
         Prefixes per shard.  Defaults to splitting the prefix set into
         ``workers * DEFAULT_SHARDS_PER_WORKER`` shards.  Neither knob
         ever changes results — only wall-clock time.
+    shard_timeout:
+        Seconds to wait for one shard before treating it as hung and
+        recovering (None — the default — waits indefinitely).
+    max_retries:
+        Resubmissions per failed shard before inline fallback.
+    backoff_base:
+        Exponential-backoff base between retries (seconds).
+    fault_plan:
+        Scripted faults (:mod:`repro.faults`).  Execution faults are
+        injected into shard submissions and must be recovered without
+        changing results; environment faults are applied exactly as
+        the serial runner applies them.
     """
 
     def __init__(
@@ -264,17 +361,30 @@ class ShardedRunner(ExperimentRunner):
         pps: int = 100,
         workers: int = 1,
         shard_size: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        fault_plan=None,
     ) -> None:
         super().__init__(
             ecosystem, experiment, seed=seed, schedule=schedule,
-            seed_plan=seed_plan, pps=pps,
+            seed_plan=seed_plan, pps=pps, fault_plan=fault_plan,
         )
         if workers < 1:
             raise ExperimentError("workers must be >= 1")
         if shard_size is not None and shard_size < 1:
             raise ExperimentError("shard_size must be >= 1")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ExperimentError("shard_timeout must be positive")
+        if max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if backoff_base < 0:
+            raise ExperimentError("backoff_base must be >= 0")
         self.workers = workers
         self.shard_size = shard_size
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
         self._executor = None
         self._executor_kind = "none"
         self._worker_state: Optional[_WorkerState] = None
@@ -292,7 +402,7 @@ class ShardedRunner(ExperimentRunner):
     def _ensure_executor(self, prober: Prober):
         if self._executor is not None:
             return self._executor
-        state = _WorkerState(
+        self._worker_state = _WorkerState(
             targets=self.seed_plan.targets,
             systems=prober.systems_by_address,
             interface_kinds={
@@ -301,7 +411,16 @@ class ShardedRunner(ExperimentRunner):
             },
             pps=prober.pps,
         )
-        self._worker_state = state
+        self._build_executor()
+        return self._executor
+
+    def _build_executor(self) -> None:
+        """(Re)create the executor from the stored worker state — the
+        initial construction and every post-crash rebuild share this
+        path, so recovery never needs the prober again."""
+        state = self._worker_state
+        if state is None:
+            raise ExperimentError("executor built before worker state")
         if self.workers > 1 and _fork_available():
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -319,7 +438,27 @@ class ShardedRunner(ExperimentRunner):
             workers=self.workers,
             experiment=self.experiment,
         )
-        return self._executor
+
+    def _rebuild_broken_executor(self) -> None:
+        """Replace the process pool after a worker crash.
+
+        A ``BrokenProcessPool`` future may come from a pool an earlier
+        recovery already replaced (one crash breaks every pending
+        future), so rebuild only when the *current* pool is actually
+        broken — ``_broken`` is private but the default errs toward
+        rebuilding, which is always safe, merely slower.
+        """
+        executor = self._executor
+        if isinstance(executor, ProcessPoolExecutor):
+            if not getattr(executor, "_broken", True):
+                return
+            executor.shutdown(wait=False)
+            _log.warning(
+                "process pool broken; rebuilding",
+                workers=self.workers,
+                experiment=self.experiment,
+            )
+        self._build_executor()
 
     def _shutdown_executor(self) -> None:
         if self._executor is not None:
@@ -362,10 +501,196 @@ class ShardedRunner(ExperimentRunner):
 
     # ----- the probing round, sharded ---------------------------------
 
+    def _shard_directives(
+        self, index: int, specs: List[ShardSpec]
+    ) -> Dict[int, FaultDirective]:
+        """Build each shard's fault directive for round *index*: the
+        scripted execution fault (if the plan's slot maps to this
+        shard) plus the shard's share of the round's lossy prefixes."""
+        lossy = self._round_lossy_prefixes(index)
+        if not self.fault_plan and not lossy:
+            return {}
+        directives: Dict[int, FaultDirective] = {}
+        for spec in specs:
+            event = self.fault_plan.execution_fault(
+                index, spec.shard_id, len(specs)
+            )
+            directive = FaultDirective(
+                crash=(
+                    event is not None
+                    and event.kind is FaultKind.WORKER_CRASH
+                ),
+                hang_seconds=(
+                    event.hang_seconds
+                    if event is not None
+                    and event.kind is FaultKind.SHARD_HANG
+                    else 0.0
+                ),
+                lossy_prefixes=(
+                    lossy.intersection(spec.prefixes)
+                    if lossy else frozenset()
+                ),
+            )
+            if directive:
+                directives[spec.shard_id] = directive
+        return directives
+
+    # ----- shard recovery ----------------------------------------------
+
+    def _submit_shard(
+        self,
+        spec: ShardSpec,
+        snapshot: RibSnapshot,
+        provenance: Optional[_ProvenanceSpec],
+        fault: Optional[FaultDirective],
+    ) -> Future:
+        """Submit one shard, converting a synchronous submission
+        failure into a failed future.
+
+        A crashing worker races the submit loop: ``os._exit`` can break
+        the pool while later shards of the same round are still being
+        submitted, making ``submit`` itself raise ``BrokenProcessPool``.
+        Wrapping the failure in a future funnels it through the same
+        merge-time recovery path as an asynchronous crash.
+        """
+        try:
+            return self._executor.submit(
+                _run_shard, spec, snapshot, provenance, fault
+            )
+        except _RECOVERABLE_FAULTS as error:
+            future: Future = Future()
+            future.set_exception(error)
+            return future
+
+    def _await(self, future: Future) -> ShardOutcome:
+        if self.shard_timeout is not None:
+            return future.result(timeout=self.shard_timeout)
+        return future.result()
+
+    def _shard_outcome(
+        self,
+        spec: ShardSpec,
+        snapshot: RibSnapshot,
+        provenance: Optional[_ProvenanceSpec],
+        fault: Optional[FaultDirective],
+        future: Future,
+    ) -> ShardOutcome:
+        try:
+            return self._await(future)
+        except _RECOVERABLE_FAULTS as error:
+            return self._recover_shard(
+                spec, snapshot, provenance, fault, error
+            )
+
+    def _recover_shard(
+        self,
+        spec: ShardSpec,
+        snapshot: RibSnapshot,
+        provenance: Optional[_ProvenanceSpec],
+        fault: Optional[FaultDirective],
+        error: BaseException,
+    ) -> ShardOutcome:
+        """Re-execute a failed shard until it succeeds.
+
+        Bounded retries with exponential backoff first — stripping any
+        execution-fault directive so an *injected* failure cannot
+        recur, while the environment directive (lossy prefixes)
+        survives, keeping results identical to a fault-free run — then
+        inline re-execution in the parent process, which cannot crash
+        or hang.  Every recovery is recorded as a
+        :class:`DegradationRecord` plus a degradation provenance
+        event.
+        """
+        registry = get_registry()
+        clean = (
+            fault.without_execution_faults() if fault is not None else None
+        )
+        failures = [_describe_failure(error)]
+        _log.warning(
+            "shard failed; recovering",
+            shard=spec.shard_id,
+            round=spec.round_index,
+            experiment=self.experiment,
+            failure=failures[0],
+        )
+        for attempt in range(1, self.max_retries + 1):
+            registry.counter("runner.shard_retries").inc()
+            delay = self.backoff_base * (2 ** (attempt - 1))
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                if isinstance(error, BrokenProcessPool):
+                    self._rebuild_broken_executor()
+                future = self._executor.submit(
+                    _run_shard, spec, snapshot, provenance, clean
+                )
+                outcome = self._await(future)
+                self._note_degradation(
+                    spec, "retry", attempt + 1, failures
+                )
+                return outcome
+            except _RECOVERABLE_FAULTS as retry_error:
+                error = retry_error
+                failures.append(_describe_failure(retry_error))
+        # Last resort: run the shard in this process, where there is
+        # no pool to break and no timeout to trip.
+        registry.counter("runner.shard_fallbacks").inc()
+        if isinstance(error, BrokenProcessPool):
+            self._rebuild_broken_executor()
+        fallback = _InlineExecutor(self._worker_state)
+        outcome = fallback.submit(
+            _run_shard, spec, snapshot, provenance, clean
+        ).result()
+        self._note_degradation(
+            spec, "fallback", self.max_retries + 2, failures
+        )
+        return outcome
+
+    def _note_degradation(
+        self,
+        spec: ShardSpec,
+        action: str,
+        attempts: int,
+        failures: List[str],
+    ) -> None:
+        detail = "; ".join(failures)
+        record = DegradationRecord(
+            round_index=spec.round_index,
+            config=spec.config,
+            shard_id=spec.shard_id,
+            action=action,
+            attempts=attempts,
+            recovered=True,
+            detail=detail,
+        )
+        self._degradations.append(record)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.record(degradation_event(
+                round_index=spec.round_index,
+                config=spec.config,
+                shard_id=spec.shard_id,
+                action=action,
+                attempts=attempts,
+                recovered=True,
+                detail=detail,
+            ))
+        _log.warning(
+            "shard recovered",
+            shard=spec.shard_id,
+            round=spec.round_index,
+            experiment=self.experiment,
+            action=action,
+            attempts=attempts,
+            failures=detail,
+        )
+
+    # ----- the probing round, sharded ---------------------------------
+
     def _probe_round(
         self, engine, prober: Prober, rib, index: int, config_label: str
     ) -> RoundResult:
-        executor = self._ensure_executor(prober)
+        self._ensure_executor(prober)
         with span("runner.snapshot"):
             snapshot = RibSnapshot.capture(
                 self.ecosystem.topology, rib,
@@ -377,12 +702,21 @@ class ShardedRunner(ExperimentRunner):
             _ProvenanceSpec(prefix_filter=recorder.prefix_filter)
             if recorder is not None else None
         )
+        registry = get_registry()
+        directives = self._shard_directives(index, specs)
+        injected = sum(
+            1 for directive in directives.values()
+            if directive.has_execution_fault
+        )
+        if injected:
+            registry.counter("runner.faults_injected").inc(injected)
         futures = [
-            executor.submit(_run_shard, spec, snapshot, provenance)
+            self._submit_shard(
+                spec, snapshot, provenance, directives.get(spec.shard_id)
+            )
             for spec in specs
         ]
         result = RoundResult(config=config_label, started_at=engine.now)
-        registry = get_registry()
         state = self._worker_state
         kind_of = state.interface_kinds.__getitem__
         interval = 1.0 / prober.pps
@@ -396,20 +730,23 @@ class ShardedRunner(ExperimentRunner):
             # times recomputed from the same global probe indices the
             # workers used.
             for spec, future in zip(specs, futures):
-                outcome = future.result()
+                outcome = self._shard_outcome(
+                    spec, snapshot, provenance,
+                    directives.get(spec.shard_id), future,
+                )
                 row_iter = iter(outcome.rows)
-                index = spec.start_index
+                probe_index = spec.start_index
                 for prefix in spec.prefixes:
                     rebuilt = []
                     for target in state.targets[prefix]:
                         rebuilt.append(
                             response_from_row(
                                 next(row_iter), target,
-                                spec.started_at + index * interval,
+                                spec.started_at + probe_index * interval,
                                 kind_of,
                             )
                         )
-                        index += 1
+                        probe_index += 1
                     if rebuilt:
                         result.responses[prefix] = rebuilt
                 total += outcome.probe_count

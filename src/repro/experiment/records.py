@@ -80,13 +80,58 @@ class FeederObservation:
 
 @dataclass
 class OutageRecord:
-    """An outage the runner actually injected."""
+    """An outage the runner actually injected.
+
+    ``action`` is ``"down"``/``"up"`` for scheduled outages and
+    ``"flap-down"``/``"flap-up"`` for fault-plan link flaps
+    (:mod:`repro.faults`), which fail and restore a link between
+    rounds beyond the scheduled outage ground truth."""
 
     round_index: int
-    action: str   # "down" or "up"
+    action: str   # "down" / "up" / "flap-down" / "flap-up"
     a: int
     b: int
     victim_asn: int
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """How one shard execution failed and was recovered.
+
+    Emitted by the hardened :class:`~repro.experiment.parallel.ShardedRunner`
+    whenever a shard needed more than its first attempt — an injected
+    or genuine worker crash (``BrokenProcessPool``), a shard timeout,
+    or an in-process :class:`~repro.faults.InjectedFault`.  ``action``
+    says how recovery succeeded: ``"retry"`` (a resubmission within
+    the bounded backoff loop) or ``"fallback"`` (inline re-execution
+    in the parent after retries were exhausted).  ``attempts`` counts
+    every execution of the shard including the first and the one that
+    succeeded; ``detail`` lists the failure seen at each lost attempt.
+
+    Degradations describe how a run *executed*, never what it
+    measured: they are excluded from the byte-identity contract, so a
+    recovered run still compares equal to a fault-free one on
+    classifications, report text, and exported provenance.
+    """
+
+    round_index: int
+    config: str
+    shard_id: int
+    action: str   # "retry" or "fallback"
+    attempts: int
+    recovered: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "round": self.round_index,
+            "config": self.config,
+            "shard": self.shard_id,
+            "action": self.action,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+            "detail": self.detail,
+        }
 
 
 @dataclass
@@ -114,6 +159,12 @@ class ExperimentResult:
         default_factory=list
     )
     outages_applied: List[OutageRecord] = field(default_factory=list)
+    #: Shard executions that needed recovery (retries / inline
+    #: fallbacks).  Execution metadata only — explicitly *excluded*
+    #: from the determinism/identity contract: a run that survived a
+    #: worker crash is byte-identical to a fault-free run everywhere
+    #: except this list (asserted in tests/test_differential.py).
+    degradations: List[DegradationRecord] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:

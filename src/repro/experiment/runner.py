@@ -24,12 +24,13 @@ from typing import Dict, Optional, Tuple
 
 from ..bgp.engine import PropagationEngine, UpdateEvent
 from ..errors import ExperimentError
+from ..faults import FaultKind, FaultPlan
 from ..obs import get_logger, get_registry, span
 from ..obs.provenance import active_recorder, selection_event
 from ..probing.forwarding import engine_rib
 from ..probing.host import MeasurementHost
 from ..probing.prober import Prober
-from ..rng import SeedTree
+from ..rng import SeedTree, poisson
 from ..seeds.selection import SeedPlan, select_seeds
 from ..topology.re_config import SystemPlan
 from ..topology.re_ecosystem import Ecosystem
@@ -56,6 +57,7 @@ class ExperimentRunner:
         schedule: Optional[ExperimentSchedule] = None,
         seed_plan: Optional[SeedPlan] = None,
         pps: int = 100,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if experiment not in ("surf", "internet2"):
             raise ExperimentError("experiment must be 'surf' or 'internet2'")
@@ -65,6 +67,14 @@ class ExperimentRunner:
         self.tree = SeedTree(seed).child("experiment-%s" % experiment)
         self.seed_plan = seed_plan
         self.pps = pps
+        #: Scripted faults (:mod:`repro.faults`).  The serial runner
+        #: applies the *environment* faults — probe-loss bursts and
+        #: link flaps — which change results deterministically;
+        #: execution faults (crashes, hangs) only exist where there
+        #: are shard executions to attack, so they take effect in
+        #: :class:`~repro.experiment.parallel.ShardedRunner`.
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._degradations: list = []
 
     # ------------------------------------------------------------------
 
@@ -90,12 +100,14 @@ class ExperimentRunner:
             self._systems_by_address(),
             pps=self.pps,
         )
+        self._degradations = []
         result = ExperimentResult(
             experiment=self.experiment,
             schedule=schedule,
             re_origin=re_origin,
             commodity_origin=commodity_origin,
             seed_plan=self.seed_plan,
+            degradations=self._degradations,
         )
         flap_rng = self.tree.child("background-flaps").rng()
         prefix = ecosystem.measurement_prefix
@@ -179,6 +191,9 @@ class ExperimentRunner:
                 round_stats.extend(
                     self._apply_outages(engine, index, result)
                 )
+                round_stats.extend(
+                    self._apply_fault_flaps(engine, index, result)
+                )
                 result.round_convergence.append(round_stats)
             self._flush_round_metrics(index, config_label, result)
 
@@ -218,7 +233,33 @@ class ExperimentRunner:
             self._round_seed_tree(index),
             engine.now,
             round_index=index,
+            lossy_prefixes=self._round_lossy_prefixes(index),
         )
+
+    def _round_lossy_prefixes(self, index: int) -> frozenset:
+        """The prefixes blanked by fault-plan probe-loss bursts in
+        round *index* — computed identically by the serial and sharded
+        probing paths, so both blank exactly the same responses."""
+        if not self.fault_plan:
+            return frozenset()
+        lossy = self.fault_plan.lossy_prefixes(
+            index, self.seed_plan.responsive_prefixes()
+        )
+        if lossy:
+            bursts = sum(
+                1 for event in self.fault_plan.events
+                if event.kind is FaultKind.PROBE_LOSS
+                and event.round_index == index
+            )
+            get_registry().counter("runner.faults_injected").inc(bursts)
+            _log.info(
+                "probe-loss burst injected",
+                experiment=self.experiment,
+                round=index,
+                bursts=bursts,
+                prefixes=len(lossy),
+            )
+        return lossy
 
     def _capture_round_provenance(
         self,
@@ -325,6 +366,47 @@ class ExperimentRunner:
                 self._note_outage(round_index, "up", outage)
         return stats_list
 
+    def _apply_fault_flaps(
+        self, engine: PropagationEngine, round_index: int,
+        result: ExperimentResult,
+    ):
+        """Fire fault-plan link flaps after *round_index*: fail the
+        slotted link, converge, restore it, converge again — an
+        ad-hoc outage beyond the scheduled ground truth, applied
+        identically in serial and sharded execution.  Links that are
+        already down (a scheduled outage in progress) are skipped, so
+        a flap can never restore an outage early."""
+        if not self.fault_plan:
+            return []
+        flaps = self.fault_plan.flaps_after(round_index)
+        if not flaps:
+            return []
+        links = list(self.ecosystem.topology.links())
+        registry = get_registry()
+        stats_list = []
+        for event in flaps:
+            link = links[event.slot % len(links)]
+            if engine.link_is_down(link.a, link.b):
+                continue
+            registry.counter("runner.faults_injected").inc()
+            for action, toggle in (
+                ("flap-down", engine.set_link_down),
+                ("flap-up", engine.set_link_up),
+            ):
+                toggle(link.a, link.b)
+                stats_list.append(engine.run_to_fixpoint())
+                result.convergence.append(stats_list[-1])
+                result.outages_applied.append(OutageRecord(
+                    round_index, action, link.a, link.b, link.a
+                ))
+            _log.info(
+                "fault link flap applied",
+                experiment=self.experiment,
+                round=round_index,
+                link="%d-%d" % (link.a, link.b),
+            )
+        return stats_list
+
     def _note_outage(self, round_index: int, action: str, outage) -> None:
         get_registry().counter("runner.outages_applied").inc()
         _log.info(
@@ -402,13 +484,11 @@ class ExperimentRunner:
         rate_per_second = config.background_flap_rate_per_hour / 3600.0
         span = max(0.0, end - start)
         expected = span * rate_per_second
-        count = 0
-        # Poisson draw via thinning on a small expected count.
-        remaining = expected
-        while remaining > 0:
-            if rng.random() < min(1.0, remaining):
-                count += 1
-            remaining -= 1.0
+        # True Poisson draw by CDF inversion (one uniform from the
+        # flap stream).  The previous implementation was
+        # floor(expected) + Bernoulli(frac) — zero variance on the
+        # integer part, which understated burstiness.
+        count = poisson(rng, expected)
         feeders = sorted(self.ecosystem.feeders.commodity_sessions)
         if not feeders or count == 0:
             return
@@ -436,6 +516,8 @@ def run_both_experiments(
     pps: int = 100,
     workers: int = 1,
     shard_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    shard_timeout: Optional[float] = None,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """Run the SURF and Internet2 experiments with shared probe seeds,
     as the paper did one week apart.
@@ -443,9 +525,16 @@ def run_both_experiments(
     ``workers`` > 1 (or an explicit ``shard_size``) routes the probing
     rounds through :class:`~repro.experiment.parallel.ShardedRunner`;
     results are byte-identical at every worker count and shard size.
+    A non-empty ``fault_plan`` (or an explicit ``shard_timeout``) also
+    routes through the sharded runner so its execution faults attack
+    real shard executions and are recovered; environment faults change
+    results the same way at every worker count.
     """
     def make_runner(experiment: str, run_seed: int, seed_plan):
-        if workers == 1 and shard_size is None:
+        if (
+            workers == 1 and shard_size is None
+            and not fault_plan and shard_timeout is None
+        ):
             return ExperimentRunner(
                 ecosystem, experiment, seed=run_seed, schedule=schedule,
                 seed_plan=seed_plan, pps=pps,
@@ -455,7 +544,8 @@ def run_both_experiments(
         return ShardedRunner(
             ecosystem, experiment, seed=run_seed, schedule=schedule,
             seed_plan=seed_plan, pps=pps, workers=workers,
-            shard_size=shard_size,
+            shard_size=shard_size, fault_plan=fault_plan,
+            shard_timeout=shard_timeout,
         )
 
     tree = SeedTree(seed)

@@ -50,6 +50,7 @@ __all__ = [
     "signal_from_kinds",
     "selection_event",
     "signal_event",
+    "degradation_event",
     "DEFAULT_CAPACITY",
 ]
 
@@ -147,6 +148,38 @@ def signal_event(
         "probes": probes,
         "responses": responses,
         "origins": origins,
+    }
+
+
+def degradation_event(
+    round_index: int,
+    config: str,
+    shard_id: int,
+    action: str,
+    attempts: int,
+    recovered: bool,
+    detail: str = "",
+) -> dict:
+    """Build one ``kind="degradation"`` event: a shard execution that
+    needed recovery (see
+    :class:`~repro.experiment.records.DegradationRecord`).
+
+    Degradation events describe how a run *executed*, never what it
+    measured, so :meth:`ProvenanceRecorder.export_jsonl` excludes them
+    by default — the exported evidence stream of a run that survived a
+    worker crash stays byte-identical to a fault-free run's.  They
+    remain queryable in the ring (``events(kind="degradation")``) for
+    ``repro explain`` narratives and debugging.
+    """
+    return {
+        "kind": "degradation",
+        "round": round_index,
+        "config": config,
+        "shard": shard_id,
+        "action": action,
+        "attempts": attempts,
+        "recovered": recovered,
+        "detail": detail,
     }
 
 
@@ -254,20 +287,38 @@ class ProvenanceRecorder:
 
     # -- export -------------------------------------------------------
 
-    def export_jsonl(self, stream) -> int:
+    def export_jsonl(
+        self, stream, include_degradations: bool = False
+    ) -> int:
         """Write retained events to *stream* as one JSON object per
         line (sorted keys, so exports diff cleanly); returns the line
-        count."""
+        count.
+
+        ``kind="degradation"`` events are skipped unless
+        *include_degradations* is set: they record how the run
+        executed (shard retries/fallbacks), not what it measured, and
+        excluding them keeps the exported evidence stream
+        byte-identical between a recovered run and a fault-free one.
+        """
         count = 0
         for event in self.events():
+            if (
+                not include_degradations
+                and event.get("kind") == "degradation"
+            ):
+                continue
             stream.write(json.dumps(event, sort_keys=True))
             stream.write("\n")
             count += 1
         return count
 
-    def export_jsonl_file(self, path: str) -> int:
+    def export_jsonl_file(
+        self, path: str, include_degradations: bool = False
+    ) -> int:
         with open(path, "w", encoding="utf-8") as stream:
-            return self.export_jsonl(stream)
+            return self.export_jsonl(
+                stream, include_degradations=include_degradations
+            )
 
 
 # -- process-wide recorder (None = disabled) --------------------------

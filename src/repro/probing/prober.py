@@ -173,13 +173,18 @@ class Prober:
         seed_tree: SeedTree,
         now: float,
         round_index: Optional[int] = None,
+        lossy_prefixes: frozenset = frozenset(),
     ) -> RoundResult:
         """Probe every target once, pacing at ``pps``.
 
         *seed_tree* is the round's seed node; each prefix derives its
         own probe stream from it (see :func:`prefix_stream_rng`).
         *round_index* only labels provenance signal events; it never
-        affects probing.
+        affects probing.  *lossy_prefixes* names prefixes blanked by a
+        fault-plan probe-loss burst (:mod:`repro.faults`): their
+        probes go unanswered without consuming any stream draws, so
+        the fault stays surgical — every other prefix's responses are
+        untouched.
         """
         result = RoundResult(config=config, started_at=now)
         origin_set = set(self.host.origin_asns())
@@ -191,10 +196,11 @@ class Prober:
                 targets_by_prefix, key=lambda p: (p.network, p.length)
             ):
                 rng = prefix_stream_rng(seed_tree.seed, prefix)
+                blanked = prefix in lossy_prefixes
                 for target in targets_by_prefix[prefix]:
                     response = self._probe_one(
                         target, best_route_of, origin_set, rng,
-                        now + index * interval,
+                        now + index * interval, force_loss=blanked,
                     )
                     result.responses.setdefault(prefix, []).append(response)
                     index += 1
@@ -237,6 +243,7 @@ class Prober:
         origin_set,
         rng: random.Random,
         tx: float,
+        force_loss: bool = False,
     ) -> ProbeResponse:
         def walk(start_asn: int) -> ReturnPath:
             return walk_return_path(
@@ -250,6 +257,7 @@ class Prober:
         return probe_one(
             self.systems_by_address.get(target.address),
             target, walk, interface_kind_of, rng, tx,
+            force_loss=force_loss,
         )
 
 
@@ -260,6 +268,7 @@ def probe_one(
     interface_kind_of: Callable[[int], str],
     rng: random.Random,
     tx: float,
+    force_loss: bool = False,
 ) -> ProbeResponse:
     """Probe one target over an abstract data plane.
 
@@ -269,7 +278,15 @@ def probe_one(
     through here so their responses cannot diverge.  *walk* maps the
     probed system's attached ASN to a
     :class:`~repro.probing.forwarding.ReturnPath`.
+
+    *force_loss* drops the probe before any stream draw — the
+    fault-plan loss-burst hook (:mod:`repro.faults`).  Consuming no
+    randomness keeps the blanked prefix's stream aligned with the
+    fault-free run, so a burst changes exactly the blanked responses
+    and nothing else.
     """
+    if force_loss:
+        return ProbeResponse(target=target, tx_time=tx, responded=False)
     if system is None or not system.alive:
         return ProbeResponse(target=target, tx_time=tx, responded=False)
     if rng.random() < system.loss_probability:

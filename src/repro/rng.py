@@ -9,6 +9,7 @@ randomness never perturbs the streams of existing consumers.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from typing import Iterable, List, Sequence, TypeVar
 
@@ -65,6 +66,36 @@ class SeedTree:
 
     def __repr__(self) -> str:
         return "SeedTree(seed=%d, label=%r)" % (self.seed, self.label)
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Draw from Poisson(*lam*) by inverse-CDF inversion.
+
+    Consumes exactly **one** uniform from *rng* regardless of the
+    value drawn, so callers' downstream draws stay aligned across
+    parameter changes (a multi-draw sampler would re-key every stream
+    after it whenever the rate changed).
+
+    Exact for the small rates this repo uses (background-flap counts
+    per inter-round gap, typically « 10).  For very large *lam* (where
+    ``exp(-lam)`` underflows, around 745) the walk is capped at
+    ``lam + 10·sqrt(lam)`` and returns the cap — callers at that scale
+    should use a normal approximation instead.
+    """
+    if lam < 0.0:
+        raise ValueError("poisson rate must be >= 0")
+    if lam == 0.0:
+        return 0
+    u = rng.random()
+    probability = math.exp(-lam)
+    cdf = probability
+    k = 0
+    cap = int(lam + 10.0 * math.sqrt(lam) + 16.0)
+    while u > cdf and k < cap:
+        k += 1
+        probability *= lam / k
+        cdf += probability
+    return k
 
 
 def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:

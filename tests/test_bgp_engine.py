@@ -150,6 +150,117 @@ class TestLinkEvents:
         with pytest.raises(EngineError):
             engine.set_link_down(1, 3)
 
+    def test_link_is_down_tracks_state(self):
+        engine = engine_for(chain_topology())
+        assert not engine.link_is_down(1, 2)
+        engine.set_link_down(1, 2)
+        assert engine.link_is_down(1, 2)
+        assert engine.link_is_down(2, 1)  # undirected
+        engine.set_link_up(1, 2)
+        assert not engine.link_is_down(1, 2)
+
+    def test_link_up_readvertisement_respects_export_policy(self):
+        """Restoring a link must re-export through the same policy
+        checks as any other export: 4's best for PFX is peer-learned
+        (from 2), so flapping the 4-5 peering must not leak it to 5."""
+        topo = chain_topology()
+        topo.add_as(5, "as5")
+        topo.add_peering(4, 5)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.best_route(4, PFX) is not None
+        assert engine.best_route(5, PFX) is None
+        engine.set_link_down(4, 5)
+        engine.run_to_fixpoint()
+        engine.set_link_up(4, 5)
+        engine.run_to_fixpoint()
+        assert engine.best_route(5, PFX) is None
+
+    def test_link_up_restores_pre_outage_bests_in_diamond(self):
+        """Restore in a diamond: 2's direct customer route returns and
+        the (4,3,1) detour — whose path contains 1 — must not survive
+        as a looping advertisement anywhere."""
+        topo = Topology()
+        for asn in (1, 2, 3, 4):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)
+        topo.add_provider(1, 3)
+        topo.add_provider(2, 4)
+        topo.add_provider(3, 4)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        before = {
+            asn: engine.best_route(asn, PFX).path.asns
+            for asn in (2, 3, 4)
+        }
+        assert before[2] == (1,)
+        engine.set_link_down(1, 2)
+        engine.run_to_fixpoint()
+        # 2 detours through its provider; the path visibly contains 1.
+        assert engine.best_route(2, PFX).path.asns == (4, 3, 1)
+        engine.set_link_up(1, 2)
+        engine.run_to_fixpoint()
+        after = {
+            asn: engine.best_route(asn, PFX).path.asns
+            for asn in (2, 3, 4)
+        }
+        assert after[2] == (1,)  # the direct customer route is back
+        assert after[3] == before[3]
+        # 4's two customer routes tie on length; age tie-breaking may
+        # legitimately pick either side after the flap.
+        assert after[4] in ((2, 1), (3, 1))
+        # Loop suppression on restore: 1 keeps its local route, and no
+        # AS ended up with a path visiting any AS twice.
+        assert engine.best_route(1, PFX).learned_from is None
+        for asns in after.values():
+            assert len(asns) == len(set(asns))
+
+
+class TestDroppedMessages:
+    def test_messages_on_down_link_counted_as_dropped(self):
+        """A message in flight when its link fails is discarded — and
+        accounted as a drop, not a delivery."""
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)  # queues 1->2 before the link fails
+        engine.set_link_down(1, 2)
+        stats = engine.run_to_fixpoint()
+        assert stats.messages_dropped >= 1
+        assert engine.best_route(2, PFX) is None
+
+    def test_drops_do_not_count_toward_message_limit(self):
+        """Only real deliveries feed the dispute-wheel cap: a run that
+        is all drops converges even with a limit the queued message
+        count would exceed."""
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.set_link_down(1, 2)
+        engine._message_limit = 0  # any *delivery* would now raise
+        stats = engine.run_to_fixpoint()
+        assert stats.messages_delivered == 0
+        assert stats.messages_dropped >= 1
+        assert stats.limit_proximity == 0.0
+
+    def test_fault_free_runs_drop_nothing(self):
+        engine = engine_for(chain_topology())
+        engine.announce(1, PFX)
+        stats = engine.run_to_fixpoint()
+        assert stats.messages_dropped == 0
+        assert stats.messages_delivered > 0
+
+    def test_replay_key_includes_drops(self):
+        """Two runs that differ only in drop counts must not compare
+        replay-equal."""
+        stats = engine_for(chain_topology()).run_to_fixpoint()
+        assert stats.replay_key()[1] == stats.messages_dropped
+        import dataclasses
+
+        other = dataclasses.replace(stats, messages_dropped=5)
+        assert other.replay_key() != stats.replay_key()
+
 
 class TestBookkeeping:
     def test_update_log_records_changes(self):
@@ -197,6 +308,50 @@ class TestBookkeeping:
         engine.announce(1, PFX)
         engine.run_to_fixpoint()
         assert engine.best_route(2, PFX) is None
+
+    def test_withdraw_not_sent_to_no_export_neighbor(self):
+        """A neighbor behind no_export_to never saw the route, so the
+        withdraw must not be exported to it either."""
+        topo = chain_topology()
+        topo.node(1).policy.no_export_to.add(2)
+        engine = engine_for(topo)
+        engine.announce(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.session_message_counts.get((1, 2), 0) == 0
+        engine.withdraw(1, PFX)
+        engine.run_to_fixpoint()
+        assert engine.session_message_counts.get((1, 2), 0) == 0
+        assert engine.best_route(2, PFX) is None
+
+    def test_withdraw_of_unannounced_prefix_respects_policy(self):
+        """The no-change withdraw branch routes through the same
+        per-neighbor export checks as every other export."""
+        topo = chain_topology()
+        topo.node(1).policy.no_export_to.add(2)
+        engine = engine_for(topo)
+        engine.withdraw(1, PFX)  # never announced: loc-RIB unchanged
+        engine.run_to_fixpoint()
+        assert engine.session_message_counts.get((1, 2), 0) == 0
+
+    def test_withdraw_with_surviving_origin_reexports_new_best(self):
+        """With two competing origins, withdrawing one leaves the
+        other's route: downstream ASes receive the surviving best, not
+        a blanket withdraw."""
+        topo = Topology()
+        for asn in (1, 2, 3, 5):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 3)
+        topo.add_provider(2, 3)
+        topo.add_provider(3, 5)
+        engine = engine_for(topo)
+        engine.announce(1, PFX, tag="a")
+        engine.announce(2, PFX, tag="b", default_prepends=2)
+        engine.run_to_fixpoint()
+        assert engine.best_route(5, PFX).tag == "a"
+        engine.withdraw(1, PFX)
+        engine.run_to_fixpoint()
+        survivor = engine.best_route(5, PFX)
+        assert survivor is not None and survivor.tag == "b"
 
     def test_tag_scoped_no_export(self):
         topo = chain_topology()

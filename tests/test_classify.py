@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.core.classify import (
     InferenceCategory,
     RoundSignal,
+    classify_experiment,
     classify_prefix_rounds,
     classify_signals,
 )
@@ -107,6 +108,22 @@ class TestClassifyPrefixRounds:
         rounds = [[self._Resp(True, "re")]] * 9
         inference = classify_prefix_rounds(PFX, 42, rounds, CONFIGS)
         assert inference.switch_round is None
+
+
+class TestClassifyExperiment:
+    def test_missing_origin_raises_error_naming_the_prefix(self):
+        """A probed prefix absent from the origin map must fail loudly
+        with the offending prefix in the message, not a bare KeyError."""
+        from types import SimpleNamespace
+
+        result = SimpleNamespace(
+            experiment="surf",
+            schedule=SimpleNamespace(configs=CONFIGS),
+            seed_plan=SimpleNamespace(targets={PFX: []}),
+            rounds=[],
+        )
+        with pytest.raises(AnalysisError, match=r"198\.51\.100\.0/24"):
+            classify_experiment(result, {})
 
 
 # Property tests on the signal state machine.

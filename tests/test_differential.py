@@ -30,6 +30,7 @@ from repro.core.explain import render_explanation
 from repro.core.report import reproduce_paper
 from repro.experiment.parallel import ShardedRunner
 from repro.experiment.runner import ExperimentRunner
+from repro.faults import FaultEvent, FaultKind, FaultPlan
 from repro.obs.provenance import ProvenanceRecorder, use_provenance
 from repro.rng import SeedTree
 
@@ -213,6 +214,130 @@ class TestReportText:
             ecosystem=ecosystem, seed=seed, workers=WORKERS
         ).render()
         assert sharded_text == serial_text
+
+
+#: Execution faults injected by the recovery differential: a worker
+#: crash mid-grid plus a hang caught by the shard timeout.  Results
+#: must come out byte-identical to the fault-free serial run.
+CRASH_PLAN = FaultPlan(events=(
+    FaultEvent(kind=FaultKind.WORKER_CRASH, round_index=2, slot=1),
+    FaultEvent(kind=FaultKind.SHARD_HANG, round_index=6, slot=3,
+               hang_seconds=3.0),
+))
+
+
+@pytest.fixture(scope="module")
+def crash_case():
+    """The fault-free serial run next to a sharded run suffering
+    injected execution faults, both with provenance."""
+    seed, scale = GRID[0]
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    serial, serial_jsonl = _run_with_provenance(
+        ExperimentRunner(ecosystem, "surf", seed=seed)
+    )
+    faulted, faulted_jsonl = _run_with_provenance(
+        ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=WORKERS,
+            fault_plan=CRASH_PLAN, shard_timeout=0.5, backoff_base=0.0,
+        )
+    )
+    return ecosystem, serial, serial_jsonl, faulted, faulted_jsonl
+
+
+class TestCrashInjectedDifferential:
+    """A run with injected worker crashes/hangs recovers and produces
+    a byte-identical ``ExperimentResult`` — responses, convergence,
+    classifications, provenance JSONL — to the fault-free serial run."""
+
+    def test_rounds_identical(self, crash_case):
+        _, serial, _, faulted, _ = crash_case
+        assert [_round_key(r) for r in faulted.rounds] == \
+            [_round_key(r) for r in serial.rounds]
+
+    def test_convergence_identical(self, crash_case):
+        _, serial, _, faulted, _ = crash_case
+        expected = [
+            [stats.replay_key() for stats in round_stats]
+            for round_stats in serial.round_convergence
+        ]
+        got = [
+            [stats.replay_key() for stats in round_stats]
+            for round_stats in faulted.round_convergence
+        ]
+        assert got == expected
+
+    def test_classifications_identical(self, crash_case):
+        ecosystem, serial, _, faulted, _ = crash_case
+        origins = origin_map(ecosystem)
+        expected = {
+            prefix: inference.category
+            for prefix, inference in
+            classify_experiment(serial, origins).inferences.items()
+        }
+        got = {
+            prefix: inference.category
+            for prefix, inference in
+            classify_experiment(faulted, origins).inferences.items()
+        }
+        assert got == expected
+
+    def test_provenance_byte_identical(self, crash_case):
+        _, _, serial_jsonl, _, faulted_jsonl = crash_case
+        assert serial_jsonl
+        assert faulted_jsonl == serial_jsonl
+
+    def test_degradations_recorded_but_outside_identity(self, crash_case):
+        _, serial, _, faulted, _ = crash_case
+        assert serial.degradations == []
+        assert faulted.degradations  # the faults really fired
+        assert all(record.recovered for record in faulted.degradations)
+
+    def test_report_text_identical_under_crash_plan(self, crash_case):
+        ecosystem, _, _, _, _ = crash_case
+        seed, _ = GRID[0]
+        plain = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=1
+        ).render()
+        recovered = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=WORKERS,
+            fault_plan=FaultPlan(events=(
+                FaultEvent(kind=FaultKind.WORKER_CRASH, round_index=4,
+                           slot=2),
+            )),
+        ).render()
+        assert recovered == plain
+
+
+class TestEnvironmentFaultDifferential:
+    """Environment faults (probe loss, link flaps) change results —
+    deterministically: serial and sharded execution see the identical
+    faulted world."""
+
+    def test_serial_equals_sharded_under_environment_plan(self):
+        seed, scale = GRID[0]
+        plan = FaultPlan.from_seed(
+            seed, probe_loss_bursts=2, link_flaps=1
+        )
+        ecosystem = build_ecosystem(REEcosystemConfig(scale=scale),
+                                    seed=seed)
+        serial, serial_jsonl = _run_with_provenance(
+            ExperimentRunner(ecosystem, "surf", seed=seed,
+                             fault_plan=plan)
+        )
+        sharded, sharded_jsonl = _run_with_provenance(
+            ShardedRunner(ecosystem, "surf", seed=seed, workers=WORKERS,
+                          fault_plan=plan)
+        )
+        assert [_round_key(r) for r in sharded.rounds] == \
+            [_round_key(r) for r in serial.rounds]
+        assert sharded.outages_applied == serial.outages_applied
+        assert sharded_jsonl == serial_jsonl
+        # ... and the environment plan genuinely moved the world.
+        baseline, _ = _run_with_provenance(
+            ExperimentRunner(ecosystem, "surf", seed=seed)
+        )
+        assert [_round_key(r) for r in serial.rounds] != \
+            [_round_key(r) for r in baseline.rounds]
 
 
 class TestFastpathOracle:

@@ -8,6 +8,7 @@ from hypothesis import given, strategies as st
 from repro.rng import (
     SeedTree,
     derive_seed,
+    poisson,
     sample_heavy_tailed_count,
     stable_shuffle,
     weighted_choice,
@@ -112,6 +113,52 @@ class TestHeavyTailedCount:
             for _ in range(4000)
         ]
         assert max(counts) > 20  # occasionally large origins exist
+
+
+class TestPoisson:
+    def test_consumes_exactly_one_draw(self):
+        """The replay contract: one uniform draw per sample, so later
+        consumers of the same stream stay aligned no matter the value
+        drawn."""
+        a = random.Random(7)
+        b = random.Random(7)
+        poisson(a, 2.5)
+        b.random()
+        assert a.random() == b.random()
+
+    def test_zero_rate_draws_nothing(self):
+        a = random.Random(7)
+        b = random.Random(7)
+        assert poisson(a, 0.0) == 0
+        assert a.random() == b.random()  # stream untouched
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -0.1)
+
+    def test_mean_and_variance_match_rate(self):
+        """The old floor+Bernoulli sampler had the right mean but a
+        clipped distribution (never exceeding floor(lam)+1); a true
+        Poisson has variance == mean and an unbounded tail."""
+        rng = random.Random(42)
+        lam = 3.0
+        n = 20000
+        samples = [poisson(rng, lam) for _ in range(n)]
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        assert abs(mean - lam) < 0.1
+        assert abs(variance - lam) < 0.2
+        assert max(samples) > int(lam) + 1  # tail the old sampler lacked
+
+    def test_small_rate_mostly_zero(self):
+        rng = random.Random(3)
+        samples = [poisson(rng, 0.05) for _ in range(2000)]
+        assert samples.count(0) > 1700
+        assert any(samples)
+
+    def test_deterministic(self):
+        assert [poisson(random.Random(9), 1.7) for _ in range(5)] == \
+            [poisson(random.Random(9), 1.7) for _ in range(5)]
 
 
 class TestStableShuffle:
