@@ -15,7 +15,7 @@ from repro.core.classify import (
     classify_experiment,
     origin_map,
 )
-from repro.experiment import run_both_experiments
+from repro.experiment import run_experiment_pair
 
 SEEDS = (101, 202, 303)
 SCALE = min(0.15, bench_scale())
@@ -23,7 +23,7 @@ SCALE = min(0.15, bench_scale())
 
 def _one_run(seed):
     ecosystem = build_ecosystem(REEcosystemConfig(scale=SCALE), seed=seed)
-    _, internet2 = run_both_experiments(ecosystem, seed=seed)
+    _, internet2 = run_experiment_pair(ecosystem, seed=seed)
     inference = classify_experiment(internet2, origin_map(ecosystem))
     table = build_table1(inference)
     return {

@@ -1,0 +1,99 @@
+"""Campaign throughput: serial cells vs the campaign process pool.
+
+Runs the same (2 seeds x surf/internet2) grid twice into fresh
+campaign directories — once with ``pool_workers=1`` (cells one after
+another) and once with ``pool_workers=2`` (whole cells dispatched to a
+fork pool) — and prints the cells/minute comparison.
+
+Cells are independent full experiments, so unlike the sharded-probing
+benchmark there is no Amdahl bottleneck in the parent: with >= 2
+schedulable CPUs the pooled campaign should approach 2x.  On 1-core
+hosts the pool can only time-slice and the speedup assertion is
+skipped; the byte-identity of ``campaign_summary.json`` across pool
+sizes — the campaign identity contract — is asserted unconditionally.
+
+The grid runs at ``REPRO_BENCH_SWEEP_SCALE`` (default 0.1: four full
+nine-round experiments per campaign keep the benchmark minutes-scale
+even serially; the probing-stage benchmark already covers large-scale
+behaviour).
+"""
+
+import os
+
+from conftest import BENCH_SEED, show
+
+from repro.experiment.campaign import CampaignRunner, plan_grid
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def sweep_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SWEEP_SCALE", "0.1"))
+
+
+def test_sweep(tmp_path, bench_emit):
+    cpus = _cpus()
+    specs = plan_grid(
+        [BENCH_SEED, BENCH_SEED + 1],
+        scenarios=["baseline"],
+        experiments=["surf", "internet2"],
+        scale=sweep_scale(),
+    )
+
+    campaigns = {}
+    for pool_workers in (1, 2):
+        directory = str(tmp_path / ("pool%d" % pool_workers))
+        campaigns[pool_workers] = CampaignRunner(
+            specs, directory, pool_workers=pool_workers
+        ).run()
+        with open(os.path.join(directory, "campaign_summary.json")) as fh:
+            campaigns[pool_workers] = (campaigns[pool_workers], fh.read())
+
+    serial, serial_summary = campaigns[1]
+    pooled, pooled_summary = campaigns[2]
+
+    rows = [
+        ("available CPUs", "-", "%d" % cpus),
+        ("grid", "-", "%d cells @ scale %s"
+         % (len(specs), sweep_scale())),
+        ("serial (pool=1)", "-", "%.2fs (%.1f cells/min)"
+         % (serial.wall_seconds, serial.cells_per_minute)),
+        ("pooled (pool=2)", "-", "%.2fs (%.1f cells/min)"
+         % (pooled.wall_seconds, pooled.cells_per_minute)),
+        ("speedup", "-", "%.2fx"
+         % (serial.wall_seconds / pooled.wall_seconds)),
+    ]
+    show("Campaign sweep — serial vs pooled cells", rows)
+    bench_emit.update(
+        cpus=cpus,
+        cells=len(specs),
+        sweep_scale=sweep_scale(),
+        serial_seconds=round(serial.wall_seconds, 4),
+        pooled_seconds=round(pooled.wall_seconds, 4),
+        serial_cells_per_minute=round(serial.cells_per_minute, 2),
+        pooled_cells_per_minute=round(pooled.cells_per_minute, 2),
+    )
+
+    # The identity contract holds whatever the host looks like.
+    assert serial.completed == pooled.completed == len(specs)
+    assert serial_summary == pooled_summary, (
+        "pooled campaign summary diverged from serial"
+    )
+
+    if cpus < 2:
+        import pytest
+
+        pytest.skip(
+            "campaign speedup needs >= 2 schedulable CPUs (host has "
+            "%d); the cell pool can only time-slice here" % cpus
+        )
+    assert serial.wall_seconds / pooled.wall_seconds >= 1.2, (
+        "pooled campaign: %.2fs vs serial %.2fs (%.2fx < 1.2x)"
+        % (pooled.wall_seconds, serial.wall_seconds,
+           serial.wall_seconds / pooled.wall_seconds)
+    )

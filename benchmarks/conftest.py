@@ -27,7 +27,7 @@ import pytest
 
 from repro import REEcosystemConfig, build_ecosystem
 from repro.core.classify import classify_experiment, origin_map
-from repro.experiment import run_both_experiments
+from repro.experiment import run_experiment_pair
 
 BENCH_SEED = 20250605
 
@@ -129,7 +129,7 @@ def bench_ecosystem():
 
 @pytest.fixture(scope="session")
 def bench_results(bench_ecosystem):
-    return run_both_experiments(bench_ecosystem, seed=BENCH_SEED)
+    return run_experiment_pair(bench_ecosystem, seed=BENCH_SEED)
 
 
 @pytest.fixture(scope="session")

@@ -56,7 +56,14 @@ from .topology import (
     build_niks_scenario,
 )
 from .seeds import select_seeds
-from .experiment import ExperimentRunner, run_both_experiments
+from .experiment import (
+    CampaignRunner,
+    ExperimentRunner,
+    plan_grid,
+    run_both_experiments,
+    run_experiment_pair,
+)
+from .api import ExperimentSpec, run_experiment
 from .core import (
     InferenceCategory,
     build_table1,
@@ -91,7 +98,12 @@ __all__ = [
     "build_niks_scenario",
     "select_seeds",
     "ExperimentRunner",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_experiment_pair",
     "run_both_experiments",
+    "CampaignRunner",
+    "plan_grid",
     "InferenceCategory",
     "classify_experiment",
     "build_table1",

@@ -1,0 +1,381 @@
+"""Stable Python API facade: :class:`ExperimentSpec` and
+:func:`run_experiment`.
+
+Before this module, running one experiment meant threading ~9 keyword
+arguments through :class:`~repro.experiment.runner.ExperimentRunner` /
+:class:`~repro.experiment.parallel.ShardedRunner` /
+``run_both_experiments`` and keeping their seeding conventions in your
+head.  The facade freezes all of that into one immutable, serialisable
+value:
+
+- :class:`ExperimentSpec` — everything that determines an experiment's
+  result (seed, experiment, scenario/config overrides, schedule, pps)
+  plus everything that determines how it executes (workers, shard
+  size, timeouts, fault plan, provenance options).  Specs round-trip
+  through JSON (:meth:`ExperimentSpec.to_json` /
+  :meth:`ExperimentSpec.from_json`) and have a stable content hash
+  (:meth:`ExperimentSpec.digest`) that the campaign orchestrator uses
+  as its checkpoint key.
+- :func:`run_experiment` — ``spec -> ExperimentResult``.  Results are
+  a pure function of the spec's *simulation* fields; the execution
+  fields (``workers``, ``shard_size``, ``shard_timeout``, execution
+  faults) never change them (the PR 2/PR 4 identity contract).
+
+Seeding convention (shared with ``run_both_experiments`` and ``repro
+explain``): ``spec.seed`` is the *base* seed — the ecosystem and the
+probe-seed plan derive from it directly, while the run itself uses
+``spec.run_seed`` (``seed`` for surf, ``seed + 1`` for internet2, as
+the paper ran the experiments a week apart with the same probe
+seeds).  Two specs differing only in ``experiment`` therefore form
+exactly the pair the paper compared in Table 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .errors import ExperimentError
+from .experiment.records import ExperimentResult
+from .experiment.runner import ExperimentRunner
+from .experiment.schedule import PREPEND_SEQUENCE, ExperimentSchedule
+from .faults import FaultPlan, parse_fault_spec
+from .obs.provenance import (
+    DEFAULT_CAPACITY,
+    ProvenanceRecorder,
+    use_provenance,
+)
+from .rng import SeedTree
+from .seeds.selection import SeedPlan, select_seeds
+from .topology.re_config import (
+    REEcosystemConfig,
+    apply_config_overrides,
+    scenario_overrides,
+)
+from .topology.re_ecosystem import Ecosystem, build_ecosystem
+
+__all__ = [
+    "ExperimentSpec",
+    "build_runner",
+    "run_experiment",
+    "SPEC_SCHEMA_VERSION",
+]
+
+#: Bumped whenever a spec field is added/renamed/re-interpreted, so a
+#: campaign checkpoint written by an older schema never silently
+#: matches a newer spec's digest.
+SPEC_SCHEMA_VERSION = 1
+
+_EXPERIMENTS = ("surf", "internet2")
+
+
+def _freeze(value):
+    """Normalise JSON-ish values so equal specs hash equally: lists
+    become tuples (recursively), dicts become sorted item tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` for JSON export: item tuples back to
+    dicts, tuples to lists."""
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(item, tuple)
+            and len(item) == 2
+            and isinstance(item[0], str)
+            for item in value
+        ):
+            return {k: _thaw(v) for k, v in value}
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully specified.
+
+    Simulation fields (change the result): ``experiment``, ``seed``,
+    ``scale``, ``scenario``, ``config_overrides``, ``configs``,
+    ``pps``, plus the *environment* faults in ``fault_spec``.
+    Execution fields (never change the result): ``workers``,
+    ``shard_size``, ``shard_timeout``, ``fault_spec``'s execution
+    faults, and the provenance options.
+
+    ``config_overrides`` holds :class:`REEcosystemConfig` field
+    overrides; pass a dict, it is normalised to a sorted item tuple so
+    the spec stays hashable and its digest canonical.  ``scenario``
+    names a :data:`~repro.topology.re_config.SCENARIO_PRESETS` entry
+    applied *before* the explicit overrides.
+    """
+
+    experiment: str = "surf"
+    seed: int = 0
+    scale: float = 0.1
+    scenario: str = "baseline"
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    configs: Optional[Tuple[str, ...]] = None
+    pps: int = 100
+    workers: int = 1
+    shard_size: Optional[int] = None
+    shard_timeout: Optional[float] = None
+    fault_spec: str = ""
+    provenance_capacity: Optional[int] = None
+    provenance_prefixes: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        # Normalise sequence-ish inputs so from_json(to_json(s)) == s.
+        # dict() accepts both a mapping and an item sequence, so every
+        # spelling of the same overrides canonicalises to one sorted
+        # item tuple (and therefore one digest).
+        object.__setattr__(
+            self, "config_overrides", _freeze(dict(self.config_overrides))
+        )
+        if self.configs is not None:
+            object.__setattr__(
+                self, "configs", tuple(str(c) for c in self.configs)
+            )
+        object.__setattr__(
+            self, "provenance_prefixes",
+            tuple(str(p) for p in self.provenance_prefixes),
+        )
+        if self.experiment not in _EXPERIMENTS:
+            raise ExperimentError(
+                "experiment must be 'surf' or 'internet2', not %r"
+                % (self.experiment,)
+            )
+        if self.scale <= 0:
+            raise ExperimentError("scale must be positive")
+        if self.pps < 1:
+            raise ExperimentError("pps must be >= 1")
+        if self.workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ExperimentError("shard_size must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ExperimentError("shard_timeout must be positive")
+        if (
+            self.provenance_capacity is not None
+            and self.provenance_capacity < 1
+        ):
+            raise ExperimentError("provenance_capacity must be >= 1")
+        # Fail on malformed spec text / unknown scenario / unknown
+        # config field now, not at run time inside a pool worker.
+        if self.fault_spec:
+            parse_fault_spec(self.fault_spec)
+        scenario_overrides(self.scenario)
+        apply_config_overrides(
+            REEcosystemConfig(), dict(self.config_overrides)
+        )
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def run_seed(self) -> int:
+        """The seed the runner itself uses: ``seed`` for surf,
+        ``seed + 1`` for internet2 (the ``run_both_experiments``
+        convention, making the surf/internet2 pair two specs that
+        differ only in ``experiment``)."""
+        return self.seed + (1 if self.experiment == "internet2" else 0)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.configs or PREPEND_SEQUENCE)
+
+    def ecosystem_config(self) -> REEcosystemConfig:
+        """The effective :class:`REEcosystemConfig`: base scale, then
+        the scenario preset, then explicit overrides."""
+        config = REEcosystemConfig(scale=self.scale)
+        config = apply_config_overrides(
+            config, scenario_overrides(self.scenario)
+        )
+        return apply_config_overrides(config, dict(self.config_overrides))
+
+    def schedule(self) -> Optional[ExperimentSchedule]:
+        """The schedule override, or None for the paper's default."""
+        if self.configs is None:
+            return None
+        return ExperimentSchedule(configs=tuple(self.configs))
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The scripted fault plan, derived from the *base* seed — the
+        same plan for both halves of a surf/internet2 pair, exactly as
+        the CLI's ``--fault-plan`` builds it."""
+        if not self.fault_spec:
+            return None
+        return FaultPlan.from_spec(
+            self.fault_spec, self.seed, rounds=self.num_rounds
+        )
+
+    @property
+    def wants_provenance(self) -> bool:
+        return (
+            self.provenance_capacity is not None
+            or bool(self.provenance_prefixes)
+        )
+
+    # -- serialisation -------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (schema-versioned; see :meth:`from_dict`)."""
+        out: Dict[str, Any] = {"schema": SPEC_SCHEMA_VERSION}
+        for spec_field in dataclasses.fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "config_overrides":
+                value = _thaw(dict(value)) if value else {}
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        schema = data.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ExperimentError(
+                "spec schema %r not supported (this build reads schema %d)"
+                % (schema, SPEC_SCHEMA_VERSION)
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known - {"schema"})
+        if unknown:
+            raise ExperimentError(
+                "unknown ExperimentSpec field(s): %s" % ", ".join(unknown)
+            )
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if kwargs.get("configs") is not None:
+            kwargs["configs"] = tuple(kwargs["configs"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable content hash — the campaign checkpoint key.
+
+        SHA-256 over the canonical (sorted-keys, compact) JSON form,
+        truncated to 16 hex characters for readable file names.  Equal
+        specs always digest equally across processes and Python
+        versions; any field change (including schema bumps) changes
+        the digest, so a stale checkpoint can never shadow a fresh
+        cell.
+        """
+        canonical = json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def label(self) -> str:
+        """Human-readable cell label for logs/spans."""
+        return "%s/seed%d/%s" % (self.experiment, self.seed, self.scenario)
+
+
+# ---------------------------------------------------------------------
+# Running a spec
+
+
+def build_runner(
+    spec: ExperimentSpec,
+    ecosystem: Optional[Ecosystem] = None,
+    seed_plan: Optional[SeedPlan] = None,
+    *,
+    schedule: Optional[ExperimentSchedule] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    workers: Optional[int] = None,
+) -> ExperimentRunner:
+    """Construct the runner a spec calls for.
+
+    *ecosystem* / *seed_plan* default to building from the spec
+    (``build_ecosystem(spec.ecosystem_config(), seed=spec.seed)`` and
+    the shared-seed plan from ``SeedTree(spec.seed).child("seeds")``);
+    pass them to reuse an existing ecosystem (the campaign pair
+    dispatcher does, preserving shared-object identity).  *schedule* /
+    *fault_plan* override the spec's derived objects; *workers*
+    overrides ``spec.workers`` (the campaign orchestrator throttles
+    cells to serial probing while its own pool is busy).
+
+    Serial :class:`ExperimentRunner` when nothing needs sharding;
+    :class:`~repro.experiment.parallel.ShardedRunner` when workers > 1,
+    a shard size/timeout is set, or a fault plan exists (execution
+    faults need shard executions to attack).
+    """
+    if ecosystem is None:
+        ecosystem = build_ecosystem(spec.ecosystem_config(), seed=spec.seed)
+    if seed_plan is None:
+        seed_plan = select_seeds(
+            ecosystem, seed_tree=SeedTree(spec.seed).child("seeds")
+        )
+    if schedule is None:
+        schedule = spec.schedule()
+    if fault_plan is None:
+        fault_plan = spec.fault_plan()
+    effective_workers = spec.workers if workers is None else workers
+    if (
+        effective_workers == 1
+        and spec.shard_size is None
+        and spec.shard_timeout is None
+        and not fault_plan
+    ):
+        return ExperimentRunner(
+            ecosystem, spec.experiment, seed=spec.run_seed,
+            schedule=schedule, seed_plan=seed_plan, pps=spec.pps,
+        )
+    from .experiment.parallel import ShardedRunner
+
+    return ShardedRunner(
+        ecosystem, spec.experiment, seed=spec.run_seed,
+        schedule=schedule, seed_plan=seed_plan, pps=spec.pps,
+        workers=effective_workers, shard_size=spec.shard_size,
+        shard_timeout=spec.shard_timeout, fault_plan=fault_plan,
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    ecosystem: Optional[Ecosystem] = None,
+    seed_plan: Optional[SeedPlan] = None,
+    *,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment from its spec; the facade entry point.
+
+    The result is byte-identical for every value of the execution
+    fields (``workers``/``shard_size``/``shard_timeout`` and execution
+    faults) — the campaign orchestrator leans on this to run the same
+    spec serially, sharded, or as a pooled cell interchangeably.
+
+    When the spec asks for provenance (``provenance_capacity`` /
+    ``provenance_prefixes``) and no recorder is already active, a
+    local recorder is installed for the run and its event stream is
+    attached as ``result.provenance_events``; an already-active
+    recorder (e.g. the CLI's) is left in place and keeps receiving
+    events as usual.
+    """
+    from .obs.provenance import active_recorder
+
+    runner = build_runner(spec, ecosystem, seed_plan, workers=workers)
+    if spec.wants_provenance and active_recorder() is None:
+        recorder = ProvenanceRecorder(
+            capacity=spec.provenance_capacity or DEFAULT_CAPACITY,
+            prefix_filter=spec.provenance_prefixes or None,
+        )
+        with use_provenance(recorder):
+            result = runner.run()
+        result.provenance_events = recorder.events()
+    else:
+        result = runner.run()
+    return result

@@ -4,6 +4,9 @@
 
 - ``reproduce`` — run the full reproduction and print every table and
   figure (optionally writing probe/update JSONL files);
+- ``sweep`` — run a campaign: a grid of (seed × scenario × experiment)
+  cells with resumable digest-keyed checkpoints and a cross-seed
+  summary (see :mod:`repro.experiment.campaign`);
 - ``classify`` — re-run the per-prefix classification over a
   scamper-style JSONL results file produced by ``reproduce --export``
   or :func:`repro.dataio.dump_experiment_file`;
@@ -14,6 +17,12 @@
 - ``age-model`` — print the Figure 7 state diagrams;
 - ``funnel`` — print the §3.2 seed coverage funnel for a fresh
   ecosystem.
+
+``reproduce``, ``explain``, and ``sweep`` share identical common
+options via argparse parent parsers: the run options
+(``--seed/--workers/--shard-size/--fault-plan/--shard-timeout``) and
+the observability options (``--log-level/--log-json/--metrics-out/
+--provenance-out/--provenance-capacity/--trace-out``).
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .api import ExperimentSpec
 from .core.age_model import simulate_age_cases
 from .core.classify import InferenceCategory, RoundSignal, classify_signals
 from .core.report import reproduce_paper
@@ -33,18 +43,84 @@ from .dataio.json_results import (
     load_experiment_records_file,
     signals_from_records,
 )
-from .errors import AnalysisError, ReproError
-from .faults import FaultError, FaultPlan
+from .errors import AnalysisError, ExperimentError, ReproError
 from .obs import configure_logging, get_registry
 from .obs.provenance import (
     DEFAULT_CAPACITY,
+    ProvenanceRecorder,
     disable_provenance,
     enable_provenance,
 )
 from .rng import SeedTree
 from .seeds import select_seeds
-from .topology.re_config import REEcosystemConfig
 from .topology.re_ecosystem import build_ecosystem
+
+
+def _run_options() -> argparse.ArgumentParser:
+    """Shared run options (``parents=`` parser; no help of its own)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0)
+    parent.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the probing rounds (default: 1, "
+             "serial); output is byte-identical at every worker count",
+    )
+    parent.add_argument(
+        "--shard-size", type=int, default=None, metavar="K",
+        help="prefixes per shard (default: split into 4 shards per "
+             "worker); never changes results, only load balance",
+    )
+    parent.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="inject scripted faults derived from the seed, e.g. "
+             "'crash=1,hang=1,loss=2,flap=1' (kinds: crash/hang/loss/"
+             "flap).  Crashes and hangs are recovered without changing "
+             "the report; loss bursts and link flaps change it "
+             "deterministically",
+    )
+    parent.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard execution timeout; a shard exceeding it is "
+             "retried and, as a last resort, re-run inline "
+             "(default: no timeout)",
+    )
+    return parent
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared observability options (``parents=`` parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        help="emit structured logs on stderr at this level "
+             "(default: silent)",
+    )
+    parent.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of key=value",
+    )
+    parent.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot (engine/prober/runner "
+             "counters and span histograms) after the run",
+    )
+    parent.add_argument(
+        "--provenance-out", metavar="FILE.jsonl",
+        help="record decision provenance (route selections, per-round "
+             "prefix signals) and write it as JSON lines after the run",
+    )
+    parent.add_argument(
+        "--provenance-capacity", type=int,
+        default=None, metavar="N",
+        help="provenance ring-buffer capacity in events (default: "
+             "%d; oldest events drop first)" % DEFAULT_CAPACITY,
+    )
+    parent.add_argument(
+        "--trace-out", metavar="FILE.json",
+        help="write the run's span tree as Chrome trace-event JSON "
+             "(loadable in chrome://tracing or Perfetto)",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,13 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version="repro %s" % __version__
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    run_options = _run_options()
+    obs_options = _obs_options()
 
     reproduce = sub.add_parser(
-        "reproduce", help="run the full reproduction and print the report"
+        "reproduce", parents=[run_options, obs_options],
+        help="run the full reproduction and print the report",
     )
     reproduce.add_argument("--scale", type=float, default=0.1,
                            help="population scale (1.0 = paper size)")
-    reproduce.add_argument("--seed", type=int, default=0)
     reproduce.add_argument(
         "--export", metavar="DIR",
         help="also write probe/update JSONL files into DIR",
@@ -75,75 +153,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also render Figures 3/5/8 as terminal plots",
     )
     reproduce.add_argument(
-        "--log-level", choices=("debug", "info", "warning", "error"),
-        help="emit structured logs on stderr at this level "
-             "(default: silent)",
-    )
-    reproduce.add_argument(
-        "--log-json", action="store_true",
-        help="emit logs as JSON lines instead of key=value",
-    )
-    reproduce.add_argument(
-        "--metrics-out", metavar="PATH",
-        help="write a JSON metrics snapshot (engine/prober/runner "
-             "counters and span histograms) after the run",
-    )
-    reproduce.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="worker processes for the probing rounds (default: 1, "
-             "serial); output is byte-identical at every worker count",
-    )
-    reproduce.add_argument(
-        "--shard-size", type=int, default=None, metavar="K",
-        help="prefixes per shard (default: split into 4 shards per "
-             "worker); never changes results, only load balance",
-    )
-    reproduce.add_argument(
-        "--provenance-out", metavar="FILE.jsonl",
-        help="record decision provenance (route selections, per-round "
-             "prefix signals) and write it as JSON lines after the run",
-    )
-    reproduce.add_argument(
-        "--provenance-capacity", type=int,
-        default=None, metavar="N",
-        help="provenance ring-buffer capacity in events (default: "
-             "%d; oldest events drop first)" % DEFAULT_CAPACITY,
-    )
-    reproduce.add_argument(
-        "--trace-out", metavar="FILE.json",
-        help="write the run's span tree as Chrome trace-event JSON "
-             "(loadable in chrome://tracing or Perfetto)",
-    )
-    reproduce.add_argument(
-        "--fault-plan", metavar="SPEC",
-        help="inject scripted faults derived from the seed, e.g. "
-             "'crash=1,hang=1,loss=2,flap=1' (kinds: crash/hang/loss/"
-             "flap).  Crashes and hangs are recovered without changing "
-             "the report; loss bursts and link flaps change it "
-             "deterministically",
-    )
-    reproduce.add_argument(
-        "--shard-timeout", type=float, default=None, metavar="SECONDS",
-        help="per-shard execution timeout; a shard exceeding it is "
-             "retried and, as a last resort, re-run inline "
-             "(default: no timeout)",
-    )
-    reproduce.add_argument(
         "--degradations-out", metavar="FILE.json",
         help="write a JSON report of every shard retry/fallback the "
              "run survived (worker crashes, timeouts)",
     )
 
     explain = sub.add_parser(
-        "explain",
+        "explain", parents=[run_options, obs_options],
         help="explain one probed prefix's inference category",
     )
     explain.add_argument("prefix", help="probed prefix, e.g. 10.32.0.0/24")
     explain.add_argument("--scale", type=float, default=0.1,
                          help="population scale (1.0 = paper size)")
-    explain.add_argument("--seed", type=int, default=0)
     explain.add_argument(
         "--experiment", choices=("surf", "internet2"), default="surf",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", parents=[run_options, obs_options],
+        help="run a campaign grid of (seed x scenario x experiment) "
+             "cells with resumable checkpoints",
+    )
+    sweep.add_argument(
+        "--campaign-dir", required=True, metavar="DIR",
+        help="campaign state directory (cell checkpoints land in "
+             "DIR/cells, the aggregate in DIR/campaign_summary.json); "
+             "re-invoking with the same directory resumes, skipping "
+             "completed cells",
+    )
+    sweep.add_argument("--scale", type=float, default=0.1,
+                       help="population scale (1.0 = paper size)")
+    sweep.add_argument(
+        "--seeds", default="0", metavar="LIST",
+        help="seeds to sweep: comma list and/or ranges, e.g. "
+             "'0,1,2' or '0-4' or '0,5-8' (default: 0).  --seed is "
+             "ignored by sweep",
+    )
+    sweep.add_argument(
+        "--scenarios", default="baseline", metavar="LIST",
+        help="comma list of ecosystem scenario presets, or 'all' "
+             "(default: baseline; see repro.topology SCENARIO_PRESETS)",
+    )
+    sweep.add_argument(
+        "--experiments", default="surf,internet2", metavar="LIST",
+        help="comma list of experiments (default: surf,internet2)",
+    )
+    sweep.add_argument(
+        "--campaign-workers", type=int, default=1, metavar="N",
+        help="cell processes in the campaign pool (default: 1, "
+             "serial cells).  While > 1, each cell probes serially — "
+             "the shard pool (--workers) is used inside cells only "
+             "when the campaign pool is idle",
+    )
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute every cell even when its checkpoint exists",
     )
 
     classify = sub.add_parser(
@@ -165,39 +229,92 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_reproduce(args) -> int:
-    if args.log_level:
-        configure_logging(level=args.log_level, json_lines=args.log_json)
-    # Fail on unwritable output paths now, not after the full run.
-    for path in (args.metrics_out, args.provenance_out, args.trace_out,
-                 args.degradations_out):
+def _check_output_paths(*paths: Optional[str]) -> Optional[str]:
+    """Fail on unwritable output paths now, not after the full run."""
+    for path in paths:
         if not path:
             continue
         try:
             with open(path, "a", encoding="utf-8"):
                 pass
         except OSError as error:
-            print("cannot write %s: %s" % (path, error), file=sys.stderr)
-            return 2
+            return "cannot write %s: %s" % (path, error)
+    return None
+
+
+def _validate_run_args(args) -> Optional[str]:
+    """Numeric sanity for the shared run/obs options (message uses the
+    flag spelling, not the spec field name)."""
     if args.workers < 1:
-        print("--workers must be >= 1", file=sys.stderr)
-        return 2
+        return "--workers must be >= 1"
     if args.shard_size is not None and args.shard_size < 1:
-        print("--shard-size must be >= 1", file=sys.stderr)
-        return 2
+        return "--shard-size must be >= 1"
     if args.shard_timeout is not None and args.shard_timeout <= 0:
-        print("--shard-timeout must be positive", file=sys.stderr)
-        return 2
+        return "--shard-timeout must be positive"
     if args.provenance_capacity is not None and args.provenance_capacity < 1:
-        print("--provenance-capacity must be >= 1", file=sys.stderr)
+        return "--provenance-capacity must be >= 1"
+    return None
+
+
+def _configure_obs(args) -> None:
+    if args.log_level:
+        configure_logging(level=args.log_level, json_lines=args.log_json)
+
+
+def _write_metrics(args) -> None:
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(get_registry().to_json())
+            stream.write("\n")
+        print("wrote metrics snapshot to %s" % args.metrics_out)
+
+
+def _write_trace(args) -> None:
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out)
+        print("wrote %d trace events to %s" % (count, args.trace_out))
+
+
+def _export_recorder(recorder, path: str) -> None:
+    count = recorder.export_jsonl_file(path)
+    suffix = (
+        " (%d older events dropped by the ring)" % recorder.dropped
+        if recorder.dropped else ""
+    )
+    print("wrote %d provenance events to %s%s" % (count, path, suffix))
+
+
+def _build_spec(args, experiment: str = "surf") -> ExperimentSpec:
+    """The shared CLI args as an :class:`ExperimentSpec` (validates
+    the fault spec and scenario/scale in one place)."""
+    return ExperimentSpec(
+        experiment=experiment,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        shard_timeout=args.shard_timeout,
+        fault_spec=args.fault_plan or "",
+    )
+
+
+def _cmd_reproduce(args) -> int:
+    _configure_obs(args)
+    problem = _check_output_paths(
+        args.metrics_out, args.provenance_out, args.trace_out,
+        args.degradations_out,
+    ) or _validate_run_args(args)
+    if problem:
+        print(problem, file=sys.stderr)
         return 2
-    fault_plan = None
-    if args.fault_plan:
-        try:
-            fault_plan = FaultPlan.from_spec(args.fault_plan, args.seed)
-        except FaultError as error:
-            print(str(error), file=sys.stderr)
-            return 2
+    try:
+        spec = _build_spec(args)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    fault_plan = spec.fault_plan()
     recorder = None
     if args.provenance_out:
         recorder = enable_provenance(
@@ -205,9 +322,9 @@ def _cmd_reproduce(args) -> int:
         )
     try:
         report = reproduce_paper(
-            REEcosystemConfig(scale=args.scale), seed=args.seed,
-            workers=args.workers, shard_size=args.shard_size,
-            fault_plan=fault_plan, shard_timeout=args.shard_timeout,
+            spec.ecosystem_config(), seed=spec.seed,
+            workers=spec.workers, shard_size=spec.shard_size,
+            fault_plan=fault_plan, shard_timeout=spec.shard_timeout,
         )
     finally:
         if recorder is not None:
@@ -243,24 +360,10 @@ def _cmd_reproduce(args) -> int:
             with open(updates_path, "w", encoding="utf-8") as stream:
                 count = dump_update_log(result.update_log, stream)
             print("wrote %d records to %s" % (count, updates_path))
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as stream:
-            stream.write(get_registry().to_json())
-            stream.write("\n")
-        print("wrote metrics snapshot to %s" % args.metrics_out)
+    _write_metrics(args)
     if recorder is not None:
-        count = recorder.export_jsonl_file(args.provenance_out)
-        suffix = (
-            " (%d older events dropped by the ring)" % recorder.dropped
-            if recorder.dropped else ""
-        )
-        print("wrote %d provenance events to %s%s"
-              % (count, args.provenance_out, suffix))
-    if args.trace_out:
-        from .obs.export import write_chrome_trace
-
-        count = write_chrome_trace(args.trace_out)
-        print("wrote %d trace events to %s" % (count, args.trace_out))
+        _export_recorder(recorder, args.provenance_out)
+    _write_trace(args)
     degradations = [
         record.as_dict()
         for result in (report.surf_result, report.internet2_result)
@@ -294,15 +397,140 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _parse_seed_list(text: str) -> List[int]:
+    """``'0,2,5-8'`` -> ``[0, 2, 5, 6, 7, 8]`` (order kept, no dups)."""
+    seeds: List[int] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        # A range like 3-7 (negatives like -2 are a plain seed).
+        if "-" in chunk[1:]:
+            start_text, _, stop_text = chunk[1:].partition("-")
+            start = int(chunk[0] + start_text)
+            stop = int(stop_text)
+            if stop < start:
+                raise ValueError("bad seed range %r" % chunk)
+            span = range(start, stop + 1)
+        else:
+            span = (int(chunk),)
+        for seed in span:
+            if seed not in seeds:
+                seeds.append(seed)
+    if not seeds:
+        raise ValueError("no seeds in %r" % text)
+    return seeds
+
+
+def _cmd_sweep(args) -> int:
+    from .experiment.campaign import (
+        CampaignRunner,
+        known_scenarios,
+        plan_grid,
+    )
+
+    _configure_obs(args)
+    problem = _check_output_paths(
+        args.metrics_out, args.provenance_out, args.trace_out
+    ) or _validate_run_args(args)
+    if not problem and args.campaign_workers < 1:
+        problem = "--campaign-workers must be >= 1"
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    try:
+        seeds = _parse_seed_list(args.seeds)
+    except ValueError as error:
+        print("bad --seeds: %s" % error, file=sys.stderr)
+        return 2
+    if args.scenarios.strip() == "all":
+        scenarios = known_scenarios()
+    else:
+        scenarios = [
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        ]
+    experiments = [
+        e.strip() for e in args.experiments.split(",") if e.strip()
+    ]
+    try:
+        specs = plan_grid(
+            seeds=seeds, scenarios=scenarios, experiments=experiments,
+            scale=args.scale, workers=args.workers,
+            shard_size=args.shard_size, shard_timeout=args.shard_timeout,
+            fault_spec=args.fault_plan or "",
+        )
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    recorder = None
+    if args.provenance_out:
+        recorder = enable_provenance(
+            capacity=args.provenance_capacity or DEFAULT_CAPACITY
+        )
+    runner = CampaignRunner(
+        specs, args.campaign_dir,
+        pool_workers=args.campaign_workers,
+        resume=not args.no_resume,
+    )
+    try:
+        result = runner.run()
+    except ExperimentError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    finally:
+        if recorder is not None:
+            disable_provenance()
+    print(result.summary.render())
+    print()
+    print(
+        "campaign: %d cell(s) computed, %d resumed from checkpoints "
+        "(%.1f cells/minute); summary written to %s"
+        % (
+            result.completed, result.skipped, result.cells_per_minute,
+            runner.summary_path,
+        )
+    )
+    _write_metrics(args)
+    if recorder is not None:
+        _export_recorder(recorder, args.provenance_out)
+    _write_trace(args)
+    return 0
+
+
 def _cmd_explain(args) -> int:
     from .core.explain import explain_prefix
 
+    _configure_obs(args)
+    problem = _check_output_paths(
+        args.metrics_out, args.provenance_out, args.trace_out
+    ) or _validate_run_args(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    recorder = None
+    if args.provenance_out:
+        # explain keeps a filtered recorder (only this prefix's
+        # events), so the export is the prefix's full evidence chain.
+        recorder = ProvenanceRecorder(
+            capacity=args.provenance_capacity or DEFAULT_CAPACITY,
+            prefix_filter=[args.prefix],
+        )
+    try:
+        spec = _build_spec(args, experiment=args.experiment)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         narrative = explain_prefix(
             args.prefix,
             experiment=args.experiment,
             scale=args.scale,
             seed=args.seed,
+            workers=spec.workers,
+            shard_size=spec.shard_size,
+            fault_plan=spec.fault_plan(),
+            shard_timeout=spec.shard_timeout,
+            recorder=recorder,
         )
     except ValueError as error:
         # Unparseable prefix text.
@@ -315,6 +543,10 @@ def _cmd_explain(args) -> int:
         print(str(error), file=sys.stderr)
         return 2
     print(narrative)
+    _write_metrics(args)
+    if recorder is not None:
+        _export_recorder(recorder, args.provenance_out)
+    _write_trace(args)
     return 0
 
 
@@ -359,7 +591,8 @@ def _cmd_age_model(_args) -> int:
 
 def _cmd_funnel(args) -> int:
     ecosystem = build_ecosystem(
-        REEcosystemConfig(scale=args.scale), seed=args.seed
+        ExperimentSpec(seed=args.seed, scale=args.scale).ecosystem_config(),
+        seed=args.seed,
     )
     plan = select_seeds(ecosystem, seed_tree=SeedTree(args.seed))
     for row in plan.funnel.as_rows():
@@ -371,6 +604,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "reproduce": _cmd_reproduce,
+        "sweep": _cmd_sweep,
         "classify": _cmd_classify,
         "explain": _cmd_explain,
         "age-model": _cmd_age_model,

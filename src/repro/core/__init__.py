@@ -9,7 +9,9 @@
 - :mod:`repro.core.ripe` — §4.3 / Figure 5 (equal-localpref selection);
 - :mod:`repro.core.switch_cdf` — §B / Figure 8 (when ASes switched);
 - :mod:`repro.core.age_model` — §A / Figure 7 (route-age interplay);
-- :mod:`repro.core.report` — plain-text table rendering.
+- :mod:`repro.core.report` — plain-text table rendering;
+- :mod:`repro.core.sweep` — cross-seed campaign aggregation (mean/
+  min/max and bootstrap CIs per category vs the paper's targets).
 """
 
 from .classify import (
@@ -38,8 +40,11 @@ from .survey import (
     infer_equal_localpref,
 )
 from .prediction import PredictionReport, build_prediction_report
+from .sweep import CampaignSummary, build_campaign_summary
 
 __all__ = [
+    "CampaignSummary",
+    "build_campaign_summary",
     "InferenceCategory",
     "PrefixInference",
     "RoundSignal",

@@ -16,10 +16,10 @@ transition, and the category-specific evidence —
 The renderer (:func:`render_explanation`) is pure — it consumes the
 classification plus recorded provenance events, so tests can drive it
 without running an experiment; :func:`explain_prefix` is the CLI
-driver that reproduces :func:`~repro.experiment.runner.run_both_experiments`
-seeding exactly (surf at ``seed``, internet2 at ``seed + 1``, shared
-probe seeds) so the replay matches the full reproduction byte for
-byte.
+driver that reproduces the :class:`repro.api.ExperimentSpec` seeding
+convention exactly (surf at ``seed``, internet2 at ``seed + 1``,
+shared probe seeds) so the replay matches the full reproduction byte
+for byte.
 """
 
 from __future__ import annotations
@@ -31,7 +31,6 @@ from ..netutil import Prefix
 from ..obs.provenance import ProvenanceRecorder, use_provenance
 from ..rng import SeedTree
 from ..seeds.selection import select_seeds
-from ..topology.re_config import REEcosystemConfig
 from ..topology.re_ecosystem import build_ecosystem
 from .classify import (
     InferenceCategory,
@@ -298,24 +297,34 @@ def explain_prefix(
     scale: float = 0.1,
     seed: int = 0,
     ecosystem=None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    recorder: Optional[ProvenanceRecorder] = None,
 ) -> str:
     """Replay *experiment* and explain one probed prefix's category.
 
     Raises :class:`~repro.errors.AnalysisError` when the prefix is not
-    in the experiment's probed set.  Seeding mirrors
-    :func:`~repro.experiment.runner.run_both_experiments` (shared
-    probe seeds; internet2 runs at ``seed + 1``), so the narrative
-    describes exactly what the full ``reproduce`` run classified.
+    in the experiment's probed set.  Seeding follows the
+    :class:`repro.api.ExperimentSpec` convention (shared probe seeds;
+    internet2 runs at ``seed + 1``), so the narrative describes
+    exactly what the full ``reproduce`` run classified — at any
+    ``workers``/``shard_size``/``shard_timeout``, which never change
+    the evidence chain, and under any *fault_plan*, whose execution
+    faults are recovered (and reported) without changing it.
     """
-    from ..experiment.runner import ExperimentRunner
+    from ..api import ExperimentSpec, build_runner
 
     if experiment not in ("surf", "internet2"):
         raise AnalysisError("experiment must be 'surf' or 'internet2'")
     prefix = Prefix.parse(prefix_text)
+    spec = ExperimentSpec(
+        experiment=experiment, seed=seed, scale=scale, workers=workers,
+        shard_size=shard_size, shard_timeout=shard_timeout,
+    )
     if ecosystem is None:
-        ecosystem = build_ecosystem(
-            REEcosystemConfig(scale=scale), seed=seed
-        )
+        ecosystem = build_ecosystem(spec.ecosystem_config(), seed=seed)
     origins = origin_map(ecosystem)
     tree = SeedTree(seed)
     shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
@@ -324,13 +333,14 @@ def explain_prefix(
             "prefix %s is not in the probed set (%d prefixes; see "
             "'repro funnel')" % (prefix, len(shared_seeds.targets))
         )
-    run_seed = seed if experiment == "surf" else seed + 1
-    runner = ExperimentRunner(
-        ecosystem, experiment, seed=run_seed, seed_plan=shared_seeds
+    runner = build_runner(
+        spec, ecosystem, shared_seeds, fault_plan=fault_plan
     )
     # A filtered recorder: only this prefix's events are retained, so
-    # the full nine-round chain survives any ring pressure.
-    recorder = ProvenanceRecorder(prefix_filter=[prefix])
+    # the full nine-round chain survives any ring pressure.  A caller
+    # may pass its own (the CLI does, to export the chain afterwards).
+    if recorder is None:
+        recorder = ProvenanceRecorder(prefix_filter=[prefix])
     with use_provenance(recorder):
         result = runner.run()
     inference = classify_prefix_rounds(

@@ -12,8 +12,8 @@ from typing import Optional
 
 from ..collectors.churn import ChurnReport, build_churn_report
 from ..collectors.collector import Collector
+from ..experiment.campaign import run_experiment_pair
 from ..experiment.records import ExperimentResult
-from ..experiment.runner import run_both_experiments
 from ..topology.re_config import REEcosystemConfig
 from ..topology.re_ecosystem import Ecosystem, build_ecosystem
 from .aggregate import Table1, build_table1
@@ -97,7 +97,7 @@ def reproduce_paper(
     """
     if ecosystem is None:
         ecosystem = build_ecosystem(config or REEcosystemConfig(), seed=seed)
-    surf_result, internet2_result = run_both_experiments(
+    surf_result, internet2_result = run_experiment_pair(
         ecosystem, seed=seed, workers=workers, shard_size=shard_size,
         fault_plan=fault_plan, shard_timeout=shard_timeout,
     )

@@ -9,7 +9,10 @@
   fans probing rounds out across worker processes with byte-identical
   results (see the module docstring's determinism contract);
 - :mod:`repro.experiment.records` — result containers, including the
-  shard/merge records of the parallel path.
+  shard/merge records of the parallel path;
+- :mod:`repro.experiment.campaign` — sweep orchestration: grids of
+  (seed × scenario × experiment) cells with cell-level process
+  parallelism and digest-keyed resumable checkpoints.
 """
 
 from .schedule import (
@@ -26,8 +29,22 @@ from .records import (
 )
 from .runner import ExperimentRunner, run_both_experiments
 from .parallel import ShardedRunner
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CellOutcome,
+    CellWork,
+    plan_grid,
+    run_experiment_pair,
+)
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CellOutcome",
+    "CellWork",
+    "plan_grid",
+    "run_experiment_pair",
     "PREPEND_SEQUENCE",
     "ExperimentSchedule",
     "format_prepend_config",

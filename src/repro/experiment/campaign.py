@@ -1,0 +1,679 @@
+"""repro.campaign — sweep orchestration over (seed × scenario ×
+experiment) cells with resumable checkpoints.
+
+One **cell** is one full nine-configuration experiment, fully
+described by an :class:`~repro.api.ExperimentSpec`.  This module runs
+grids of cells three ways that all produce byte-identical cell
+results:
+
+- **inline** — cells run one after another in this process, exactly
+  as a standalone :func:`repro.api.run_experiment` would;
+- **pooled** — a campaign-level ``fork`` process pool dispatches whole
+  cells.  Cell workers run with isolated observability state and ship
+  back metrics snapshots, completed span trees, and provenance events,
+  which the parent merges *in cell order* so the merged streams match
+  the inline ones.  While the campaign pool is busy, cells are
+  throttled to serial probing (``inner workers = 1``): the shard pool
+  of PR 2 is reused inside a cell only when the campaign pool is idle,
+  so the machine never runs pools-inside-pools;
+- **resumed** — each completed cell persists a JSON record keyed by
+  its spec digest under ``<campaign dir>/cells/``; re-invoking the
+  campaign skips every cell whose checkpoint is present, recomputes
+  the rest, and re-renders the summary.  The summary is a pure
+  function of the cell records, so an interrupted-then-resumed
+  campaign writes a ``campaign_summary.json`` byte-identical to an
+  uninterrupted run's.
+
+The identity contract extends PR 2/PR 4: a cell's
+:class:`~repro.experiment.records.ExperimentResult` — responses,
+classifications, report text, exported provenance — is byte-identical
+to a standalone ``run_experiment`` of the same spec, whatever the
+campaign pool size.  ``run_experiment_pair`` routes the classic
+surf/internet2 pair through the same dispatcher, turning the old
+strictly-serial pair into two independent cells at ``workers > 1``
+while preserving the shared probe-seed plan.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..api import ExperimentSpec, build_runner
+from ..core.classify import (
+    TABLE1_ORDER,
+    InferenceCategory,
+    classify_experiment,
+    origin_map,
+)
+from ..core.sweep import CampaignSummary, build_campaign_summary
+from ..errors import ExperimentError
+from ..faults import FaultPlan
+from ..obs import MetricsRegistry, get_logger, get_registry, span, use_registry
+from ..obs.provenance import (
+    DEFAULT_CAPACITY,
+    ProvenanceRecorder,
+    active_recorder,
+    use_provenance,
+)
+from ..obs.spans import attach_completed, detached_trace
+from ..rng import SeedTree
+from ..seeds.selection import SeedPlan, select_seeds
+from ..topology.re_config import SCENARIO_PRESETS
+from ..topology.re_ecosystem import Ecosystem
+from .parallel import _fork_available
+from .records import ExperimentResult
+from .schedule import ExperimentSchedule
+
+__all__ = [
+    "CellWork",
+    "CellOutcome",
+    "CellFailure",
+    "CampaignRunner",
+    "CampaignResult",
+    "cell_record",
+    "identity_view",
+    "dispatch_cells",
+    "plan_grid",
+    "run_experiment_pair",
+    "RECORD_SCHEMA_VERSION",
+]
+
+_log = get_logger("repro.campaign")
+
+#: Bumped when the checkpoint record layout changes; stale-schema
+#: checkpoints are recomputed, never reinterpreted.
+RECORD_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------
+# Cells
+
+
+@dataclass
+class CellWork:
+    """One cell plus the optional in-memory context it should reuse.
+
+    The override objects exist for the pair dispatcher, which must
+    hand *the same* ecosystem and probe-seed plan to both halves
+    (``run_both_experiments`` semantics, including the object-identity
+    guarantee ``surf.seed_plan is internet2.seed_plan`` at
+    ``workers=1``).  Campaign grids leave them ``None`` and let each
+    cell build everything from its spec.
+    """
+
+    spec: ExperimentSpec
+    ecosystem: Optional[Ecosystem] = None
+    seed_plan: Optional[SeedPlan] = None
+    schedule: Optional[ExperimentSchedule] = None
+    fault_plan: Optional[FaultPlan] = None
+    #: Overrides ``spec.workers`` for probing inside the cell; the
+    #: campaign sets 1 while its own pool is busy.
+    inner_workers: Optional[int] = None
+    #: Ship the full :class:`ExperimentResult` back (pickled, in
+    #: pooled mode).  The pair dispatcher needs it; grid cells only
+    #: need the record.
+    keep_result: bool = False
+    #: Build the classification checkpoint record.
+    build_record: bool = True
+
+
+@dataclass
+class CellOutcome:
+    """What one executed cell hands back to the dispatcher."""
+
+    index: int
+    digest: str
+    label: str
+    record: Optional[dict] = None
+    wall_seconds: float = 0.0
+    result: Optional[ExperimentResult] = None
+    #: Worker-side registry snapshot / completed span tree (pooled
+    #: mode only; inline cells wrote straight into the parent's).
+    metrics: Optional[dict] = None
+    trace: Optional[dict] = None
+    #: Events for the parent's active recorder (pooled mode only).
+    parent_provenance: Optional[List[dict]] = None
+    #: Events a spec-requested recorder captured (for the per-cell
+    #: provenance export, independent of any parent recorder).
+    spec_provenance: Optional[List[dict]] = None
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell whose execution raised (kept, not fatal mid-campaign:
+    the other cells still complete and checkpoint)."""
+
+    index: int
+    digest: str
+    label: str
+    error: str
+
+
+def cell_record(
+    spec: ExperimentSpec,
+    result: ExperimentResult,
+    ecosystem: Ecosystem,
+) -> dict:
+    """The checkpoint record of one completed cell.
+
+    Everything except ``wall_seconds`` is a pure function of the
+    spec's simulation fields — the digest-keyed record *is* the cell's
+    identity surface, and :func:`identity_view` strips the one
+    execution-metadata field for comparisons.
+    """
+    inference = classify_experiment(result, origin_map(ecosystem))
+    characterized = inference.characterized()
+    counts = {
+        category.value: len(inference.of_category(category))
+        for category in TABLE1_ORDER
+    }
+    fractions = {
+        name: (count / len(characterized) if characterized else 0.0)
+        for name, count in counts.items()
+    }
+    lines = sorted(
+        "%s\t%s" % (prefix, item.category.value)
+        for prefix, item in inference.inferences.items()
+    )
+    classification_sha = sha256(
+        "\n".join(lines).encode("utf-8")
+    ).hexdigest()
+    return {
+        "schema": RECORD_SCHEMA_VERSION,
+        "digest": spec.digest(),
+        "spec": spec.as_dict(),
+        "experiment": spec.experiment,
+        "seed": spec.seed,
+        "scenario": spec.scenario,
+        "probed": len(result.probed_prefixes()),
+        "responses": sum(r.response_count() for r in result.rounds),
+        "characterized": len(characterized),
+        "excluded_loss": len(
+            inference.of_category(InferenceCategory.EXCLUDED_LOSS)
+        ),
+        "categories": counts,
+        "fractions": fractions,
+        "classification_sha256": classification_sha,
+        "updates": len(result.update_log),
+        "outages": len(result.outages_applied),
+        "degradations": len(result.degradations),
+        "wall_seconds": 0.0,
+    }
+
+
+def identity_view(record: dict) -> dict:
+    """*record* minus execution metadata (``wall_seconds``) — the part
+    covered by the byte-identity contract."""
+    return {k: v for k, v in record.items() if k != "wall_seconds"}
+
+
+def _run_cell(work: CellWork, index: int, isolate: bool) -> CellOutcome:
+    """Execute one cell.  With ``isolate`` (pooled mode) an inherited
+    active recorder is swapped for a fresh one whose events ship back
+    to the parent; inline mode records straight into it, exactly like
+    a standalone run."""
+    spec = work.spec
+    started = time.perf_counter()
+    runner = build_runner(
+        spec, work.ecosystem, work.seed_plan,
+        schedule=work.schedule, fault_plan=work.fault_plan,
+        workers=work.inner_workers,
+    )
+    parent_recorder = active_recorder()
+    ship_to_parent = isolate and parent_recorder is not None
+    local: Optional[ProvenanceRecorder] = None
+    if ship_to_parent:
+        local = ProvenanceRecorder(
+            capacity=parent_recorder.capacity,
+            prefix_filter=parent_recorder.prefix_filter,
+        )
+    elif parent_recorder is None and spec.wants_provenance:
+        local = ProvenanceRecorder(
+            capacity=spec.provenance_capacity or DEFAULT_CAPACITY,
+            prefix_filter=spec.provenance_prefixes or None,
+        )
+    if local is not None:
+        with use_provenance(local):
+            result = runner.run()
+    else:
+        result = runner.run()
+    spec_events: Optional[List[dict]] = None
+    if local is not None and not ship_to_parent:
+        # Same attachment a standalone run_experiment() performs.
+        result.provenance_events = local.events()
+        spec_events = result.provenance_events
+    record = None
+    if work.build_record:
+        record = cell_record(spec, result, runner.ecosystem)
+        record["wall_seconds"] = time.perf_counter() - started
+    return CellOutcome(
+        index=index,
+        digest=spec.digest(),
+        label=spec.label(),
+        record=record,
+        wall_seconds=time.perf_counter() - started,
+        result=result if work.keep_result else None,
+        parent_provenance=local.events() if ship_to_parent else None,
+        spec_provenance=spec_events,
+    )
+
+
+# ---------------------------------------------------------------------
+# Dispatch
+
+_CELL_WORKS: Optional[Sequence[CellWork]] = None
+
+
+def _init_cell_pool(works: Sequence[CellWork]) -> None:
+    global _CELL_WORKS
+    _CELL_WORKS = works
+
+
+def _cell_worker(index: int) -> CellOutcome:
+    """Pool entry point: run one cell under isolated obs state and
+    ship snapshots back for in-order merging."""
+    if _CELL_WORKS is None:
+        raise ExperimentError("cell worker used before initialisation")
+    work = _CELL_WORKS[index]
+    registry = MetricsRegistry()
+    with use_registry(registry), detached_trace():
+        with span("campaign.cell.%s" % work.spec.label()) as record:
+            outcome = _run_cell(work, index, isolate=True)
+        registry.counter("campaign.cells_completed").inc()
+        outcome.trace = record.as_dict()
+    outcome.metrics = registry.snapshot()
+    return outcome
+
+
+def _pooled(pool_workers: int, count: int) -> bool:
+    return pool_workers > 1 and count > 1 and _fork_available()
+
+
+def dispatch_cells(
+    works: Sequence[CellWork],
+    pool_workers: int = 1,
+    on_outcome: Optional[Callable[[CellOutcome], None]] = None,
+) -> Tuple[List[Optional[CellOutcome]], List[CellFailure]]:
+    """Run *works*, pooled across processes when ``pool_workers > 1``
+    (and ``fork`` exists), inline otherwise.
+
+    Returns outcomes in cell order (``None`` where a cell failed) plus
+    the failures.  *on_outcome* fires as each cell completes — the
+    campaign checkpoints there, so cells finished before a crash are
+    never recomputed.  In pooled mode the parent merges worker metrics
+    snapshots, re-attaches span trees, and extends its active
+    provenance recorder strictly in cell order, reproducing the inline
+    observability streams.
+    """
+    outcomes: List[Optional[CellOutcome]] = [None] * len(works)
+    failures: List[CellFailure] = []
+    if not _pooled(pool_workers, len(works)):
+        for index, work in enumerate(works):
+            try:
+                with span("campaign.cell.%s" % work.spec.label()):
+                    outcome = _run_cell(work, index, isolate=False)
+                get_registry().counter("campaign.cells_completed").inc()
+            except Exception as error:
+                failures.append(CellFailure(
+                    index, work.spec.digest(), work.spec.label(), str(error)
+                ))
+                get_registry().counter("campaign.cells_failed").inc()
+                continue
+            outcomes[index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes, failures
+
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(pool_workers, len(works)),
+        mp_context=context,
+        initializer=_init_cell_pool,
+        initargs=(works,),
+    ) as pool:
+        futures = {
+            pool.submit(_cell_worker, index): index
+            for index in range(len(works))
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                outcome = future.result()
+            except Exception as error:
+                failures.append(CellFailure(
+                    index, works[index].spec.digest(),
+                    works[index].spec.label(), str(error),
+                ))
+                get_registry().counter("campaign.cells_failed").inc()
+                continue
+            outcomes[index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+    registry = get_registry()
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        if outcome.metrics:
+            registry.merge_snapshot(outcome.metrics)
+        if outcome.trace is not None:
+            attach_completed(outcome.trace)
+    recorder = active_recorder()
+    if recorder is not None:
+        for outcome in outcomes:
+            if outcome is not None and outcome.parent_provenance:
+                recorder.extend(outcome.parent_provenance)
+    failures.sort(key=lambda failure: failure.index)
+    return outcomes, failures
+
+
+# ---------------------------------------------------------------------
+# The surf/internet2 pair as two cells
+
+
+def run_experiment_pair(
+    ecosystem: Ecosystem,
+    seed: int = 0,
+    schedule: Optional[ExperimentSchedule] = None,
+    pps: int = 100,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    shard_timeout: Optional[float] = None,
+) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Run the SURF and Internet2 experiments with shared probe seeds,
+    as the paper did one week apart — as two campaign cells.
+
+    At ``workers=1`` the cells run inline, serially, with the *same*
+    seed-plan object handed to both runners (preserving every
+    guarantee of the old serial pair).  At ``workers > 1`` the pair
+    becomes two concurrent cell processes, each probing with
+    ``workers // 2`` inner workers; results are byte-identical either
+    way, and identical to the old implementation.
+    """
+    tree = SeedTree(seed)
+    shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
+    specs = [
+        ExperimentSpec(
+            experiment=experiment, seed=seed, pps=pps, workers=workers,
+            shard_size=shard_size, shard_timeout=shard_timeout,
+        )
+        for experiment in ("surf", "internet2")
+    ]
+    pool_workers = 2 if workers > 1 else 1
+    pooled = _pooled(pool_workers, len(specs))
+    inner = max(1, workers // 2) if pooled else workers
+    works = [
+        CellWork(
+            spec=spec, ecosystem=ecosystem, seed_plan=shared_seeds,
+            schedule=schedule, fault_plan=fault_plan, inner_workers=inner,
+            keep_result=True, build_record=False,
+        )
+        for spec in specs
+    ]
+    outcomes, failures = dispatch_cells(works, pool_workers=pool_workers)
+    if failures:
+        raise ExperimentError(
+            "experiment pair failed: "
+            + "; ".join("%s: %s" % (f.label, f.error) for f in failures)
+        )
+    surf, internet2 = outcomes[0].result, outcomes[1].result
+    assert surf is not None and internet2 is not None
+    return surf, internet2
+
+
+# ---------------------------------------------------------------------
+# Grids and the campaign runner
+
+
+def plan_grid(
+    seeds: Iterable[int],
+    scenarios: Iterable[str] = ("baseline",),
+    experiments: Iterable[str] = ("surf", "internet2"),
+    scale: float = 0.1,
+    pps: int = 100,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
+    fault_spec: str = "",
+    provenance_capacity: Optional[int] = None,
+) -> List[ExperimentSpec]:
+    """The (seed × scenario × experiment) grid, in deterministic
+    seed-major order.  Unknown scenario names fail here, before any
+    cell runs."""
+    specs = [
+        ExperimentSpec(
+            experiment=experiment, seed=seed, scale=scale,
+            scenario=scenario, pps=pps, workers=workers,
+            shard_size=shard_size, shard_timeout=shard_timeout,
+            fault_spec=fault_spec,
+            provenance_capacity=provenance_capacity,
+        )
+        for seed in seeds
+        for scenario in scenarios
+        for experiment in experiments
+    ]
+    digests = [spec.digest() for spec in specs]
+    if len(set(digests)) != len(digests):
+        raise ExperimentError("campaign grid contains duplicate cells")
+    return specs
+
+
+@dataclass
+class CampaignResult:
+    """What one campaign invocation did."""
+
+    summary: CampaignSummary
+    records: Dict[str, dict] = field(default_factory=dict)
+    completed: int = 0
+    skipped: int = 0
+    failures: List[CellFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    @property
+    def cells_per_minute(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return 60.0 * self.completed / self.wall_seconds
+
+
+class CampaignRunner:
+    """Run a grid of cells with digest-keyed resumable checkpoints.
+
+    Parameters
+    ----------
+    specs:
+        The grid (see :func:`plan_grid`); digests must be unique.
+    directory:
+        Campaign state root.  Completed cells persist under
+        ``cells/<digest>.json`` (plus ``cells/<digest>.provenance.jsonl``
+        for specs requesting provenance); the aggregate lands in
+        ``campaign_summary.json``.
+    pool_workers:
+        Campaign-level cell processes.  While > 1, cells are throttled
+        to serial probing (``inner workers = 1``); at 1, each cell may
+        use its spec's own ``workers`` (the shard pool runs only when
+        the campaign pool is idle).
+    resume:
+        Skip cells whose checkpoint is already present (the default).
+        ``False`` recomputes everything.
+    keep_results:
+        Retain full :class:`ExperimentResult` objects on the
+        :class:`CampaignResult` (memory-heavy; tests use it).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ExperimentSpec],
+        directory: str,
+        pool_workers: int = 1,
+        resume: bool = True,
+        keep_results: bool = False,
+    ) -> None:
+        digests = [spec.digest() for spec in specs]
+        if len(set(digests)) != len(digests):
+            raise ExperimentError("campaign grid contains duplicate cells")
+        self.specs = list(specs)
+        self.directory = directory
+        self.pool_workers = max(1, int(pool_workers))
+        self.resume = resume
+        self.keep_results = keep_results
+
+    # -- checkpoint I/O ------------------------------------------------
+
+    @property
+    def cells_dir(self) -> str:
+        return os.path.join(self.directory, "cells")
+
+    def cell_path(self, digest: str) -> str:
+        return os.path.join(self.cells_dir, "%s.json" % digest)
+
+    @property
+    def summary_path(self) -> str:
+        return os.path.join(self.directory, "campaign_summary.json")
+
+    def _load_checkpoint(self, spec: ExperimentSpec) -> Optional[dict]:
+        path = self.cell_path(spec.digest())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        # A checkpoint only counts if it is this schema and really is
+        # this cell; anything else is recomputed.
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != RECORD_SCHEMA_VERSION
+            or record.get("digest") != spec.digest()
+        ):
+            return None
+        return record
+
+    def _write_checkpoint(self, record: dict) -> None:
+        os.makedirs(self.cells_dir, exist_ok=True)
+        path = self.cell_path(record["digest"])
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp, path)
+
+    def _write_cell_provenance(self, outcome: CellOutcome) -> None:
+        os.makedirs(self.cells_dir, exist_ok=True)
+        path = os.path.join(
+            self.cells_dir, "%s.provenance.jsonl" % outcome.digest
+        )
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            for event in outcome.spec_provenance or ():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        os.replace(temp, path)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        started = time.perf_counter()
+        records: Dict[str, dict] = {}
+        pending: List[ExperimentSpec] = []
+        skipped = 0
+        for spec in self.specs:
+            checkpoint = self._load_checkpoint(spec) if self.resume else None
+            if checkpoint is not None:
+                records[spec.digest()] = checkpoint
+                skipped += 1
+            else:
+                pending.append(spec)
+        get_registry().counter("campaign.cells_skipped").inc(skipped)
+        _log.info(
+            "campaign start",
+            cells=len(self.specs), skipped=skipped,
+            pending=len(pending), pool_workers=self.pool_workers,
+        )
+
+        pooled = _pooled(self.pool_workers, len(pending))
+        works = [
+            CellWork(
+                spec=spec,
+                inner_workers=1 if pooled else None,
+                keep_result=self.keep_results,
+            )
+            for spec in pending
+        ]
+        result = CampaignResult(
+            summary=CampaignSummary(), skipped=skipped
+        )
+
+        def checkpoint_outcome(outcome: CellOutcome) -> None:
+            assert outcome.record is not None
+            self._write_checkpoint(outcome.record)
+            if outcome.spec_provenance is not None:
+                self._write_cell_provenance(outcome)
+            records[outcome.digest] = outcome.record
+            get_registry().histogram(
+                "campaign.cell_wall_seconds"
+            ).observe(outcome.wall_seconds)
+            if self.keep_results and outcome.result is not None:
+                result.results[outcome.digest] = outcome.result
+            _log.info(
+                "cell complete",
+                cell=outcome.label, digest=outcome.digest,
+                wall_seconds=round(outcome.wall_seconds, 3),
+            )
+
+        with span("campaign.run"):
+            _, failures = dispatch_cells(
+                works,
+                pool_workers=self.pool_workers,
+                on_outcome=checkpoint_outcome,
+            )
+
+        result.completed = len(records) - skipped
+        result.failures = failures
+        result.wall_seconds = time.perf_counter() - started
+        if failures:
+            _log.info(
+                "campaign failed",
+                failed=len(failures),
+                completed=result.completed,
+            )
+            raise ExperimentError(
+                "%d campaign cell(s) failed (completed cells are "
+                "checkpointed; re-run to resume): %s"
+                % (
+                    len(failures),
+                    "; ".join(
+                        "%s: %s" % (f.label, f.error) for f in failures
+                    ),
+                )
+            )
+        ordered = [records[spec.digest()] for spec in self.specs]
+        result.records = {r["digest"]: r for r in ordered}
+        result.summary = build_campaign_summary(ordered)
+        self._write_summary(result.summary)
+        _log.info(
+            "campaign complete",
+            completed=result.completed, skipped=skipped,
+            wall_seconds=round(result.wall_seconds, 3),
+        )
+        return result
+
+    def _write_summary(self, summary: CampaignSummary) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        temp = self.summary_path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(summary.to_json(indent=1))
+            handle.write("\n")
+        os.replace(temp, self.summary_path)
+
+
+def known_scenarios() -> List[str]:
+    """Scenario preset names, for CLI help and validation."""
+    return sorted(SCENARIO_PRESETS)

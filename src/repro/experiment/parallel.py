@@ -163,10 +163,19 @@ class _WorkerState:
 
 _WORKER: Optional[_WorkerState] = None
 
+#: True only in processes forked *by the shard pool* (set in its
+#: initializer).  Crash faults consult this — not
+#: ``multiprocessing.parent_process()`` — so an inline shard running
+#: inside some other pool's worker (a campaign cell process) raises a
+#: recoverable :class:`InjectedFault` instead of killing that worker
+#: and breaking the outer pool.
+_IN_SHARD_POOL = False
+
 
 def _init_worker(state: _WorkerState) -> None:
-    global _WORKER
+    global _WORKER, _IN_SHARD_POOL
     _WORKER = state
+    _IN_SHARD_POOL = True
 
 
 @dataclass(frozen=True)
@@ -263,7 +272,7 @@ def _run_shard(
     lossy: frozenset = frozenset()
     if fault is not None:
         if fault.crash:
-            if multiprocessing.parent_process() is not None:
+            if _IN_SHARD_POOL:
                 os._exit(1)
             raise InjectedFault(
                 "injected worker crash in shard %d" % spec.shard_id

@@ -165,6 +165,12 @@ class ExperimentResult:
     #: worker crash is byte-identical to a fault-free run everywhere
     #: except this list (asserted in tests/test_differential.py).
     degradations: List[DegradationRecord] = field(default_factory=list)
+    #: Provenance events captured by a spec-requested local recorder
+    #: (:func:`repro.api.run_experiment` with ``provenance_capacity``
+    #: / ``provenance_prefixes`` set and no recorder already active).
+    #: None when the run recorded into a caller-managed recorder or
+    #: recorded nothing.  Deterministic like everything else here.
+    provenance_events: Optional[List[dict]] = None
 
     @property
     def num_rounds(self) -> int:

@@ -20,6 +20,7 @@ seeds, as the paper did to make Table 2 comparable.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Optional, Tuple
 
 from ..bgp.engine import PropagationEngine, UpdateEvent
@@ -519,37 +520,28 @@ def run_both_experiments(
     fault_plan: Optional[FaultPlan] = None,
     shard_timeout: Optional[float] = None,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
-    """Run the SURF and Internet2 experiments with shared probe seeds,
-    as the paper did one week apart.
+    """Deprecated alias for
+    :func:`repro.experiment.campaign.run_experiment_pair`.
 
-    ``workers`` > 1 (or an explicit ``shard_size``) routes the probing
-    rounds through :class:`~repro.experiment.parallel.ShardedRunner`;
-    results are byte-identical at every worker count and shard size.
-    A non-empty ``fault_plan`` (or an explicit ``shard_timeout``) also
-    routes through the sharded runner so its execution faults attack
-    real shard executions and are recovered; environment faults change
-    results the same way at every worker count.
+    Kept as a thin wrapper for existing callers; the campaign cell
+    dispatcher it delegates to preserves the shared ``select_seeds``
+    plan and byte-identical results, and additionally runs the two
+    experiments as concurrent cells at ``workers > 1`` (this function
+    ran them strictly serially).  New code should build
+    :class:`repro.api.ExperimentSpec` pairs or call
+    ``run_experiment_pair`` directly.
     """
-    def make_runner(experiment: str, run_seed: int, seed_plan):
-        if (
-            workers == 1 and shard_size is None
-            and not fault_plan and shard_timeout is None
-        ):
-            return ExperimentRunner(
-                ecosystem, experiment, seed=run_seed, schedule=schedule,
-                seed_plan=seed_plan, pps=pps,
-            )
-        from .parallel import ShardedRunner
+    warnings.warn(
+        "run_both_experiments is deprecated; use "
+        "repro.experiment.campaign.run_experiment_pair or "
+        "repro.api.run_experiment",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .campaign import run_experiment_pair
 
-        return ShardedRunner(
-            ecosystem, experiment, seed=run_seed, schedule=schedule,
-            seed_plan=seed_plan, pps=pps, workers=workers,
-            shard_size=shard_size, fault_plan=fault_plan,
-            shard_timeout=shard_timeout,
-        )
-
-    tree = SeedTree(seed)
-    shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
-    surf = make_runner("surf", seed, shared_seeds).run()
-    internet2 = make_runner("internet2", seed + 1, shared_seeds).run()
-    return surf, internet2
+    return run_experiment_pair(
+        ecosystem, seed=seed, schedule=schedule, pps=pps,
+        workers=workers, shard_size=shard_size, fault_plan=fault_plan,
+        shard_timeout=shard_timeout,
+    )

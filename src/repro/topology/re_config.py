@@ -9,10 +9,12 @@ simulated counterpart of the paper's operator interviews.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..errors import ReproError
 from ..netutil import Prefix
 from .graph import MemberSide
 
@@ -232,3 +234,103 @@ class REEcosystemConfig:
 
     def scaled(self, count_full: int, minimum: int = 1) -> int:
         return max(minimum, round(count_full * self.scale))
+
+
+#: Named ecosystem variants for campaign sweeps (``repro sweep
+#: --scenarios``).  Each maps scenario name -> :class:`REEcosystemConfig`
+#: field overrides; ``"baseline"`` is the unmodified config.  The
+#: variants probe the robustness dimensions the paper's single-topology
+#: runs cannot: policy-mixture shifts (does the ~81% always-R&E
+#: fraction survive a commodity-leaning egress mixture?), seeding
+#: sparsity (§3.2 funnel pressure), probe flakiness (loss-exclusion
+#: pressure on Table 1), and transit-graph depth (longer AS paths
+#: around the prepend break-even).
+SCENARIO_PRESETS: Dict[str, Dict[str, object]] = {
+    "baseline": {},
+    "commodity-heavy": {
+        # Shift the egress mixture toward commodity preference.
+        "egress_given_equal": (0.65, 0.08, 0.27),
+        "egress_given_more_commodity": (0.70, 0.08, 0.22),
+        "no_commodity_rate": 0.25,
+    },
+    "re-dominant": {
+        # More R&E-only members, fewer hidden commodity egresses.
+        "no_commodity_rate": 0.55,
+        "hidden_commodity_extra": 0.02,
+        "egress_given_equal": (0.88, 0.03, 0.09),
+    },
+    "sparse-seeding": {
+        # Weaker ISI/Censys coverage: fewer probeable systems.
+        "isi_coverage": 0.45,
+        "censys_coverage": 0.15,
+        "alive_given_covered": 0.85,
+        "three_systems_rate": 0.60,
+    },
+    "flaky-probes": {
+        # Lossier data plane: more prefixes excluded for packet loss.
+        "base_loss_probability": 0.02,
+        "flaky_system_rate": 0.12,
+        "flaky_loss_probability": 0.15,
+    },
+    "deep-transit": {
+        # Deeper commodity transit chains: longer commodity AS paths.
+        "deep_transit_share": 0.60,
+        "deep2_transit_share": 0.30,
+        "intl_deep_commodity_bias": 0.80,
+    },
+}
+
+#: Config fields a spec/scenario may override.  Everything on
+#: :class:`REEcosystemConfig` is fair game; the set exists to fail
+#: loudly on typos instead of silently ignoring an override.
+_CONFIG_FIELDS = None
+
+
+def config_field_names() -> frozenset:
+    """The overridable :class:`REEcosystemConfig` field names."""
+    global _CONFIG_FIELDS
+    if _CONFIG_FIELDS is None:
+        _CONFIG_FIELDS = frozenset(
+            f.name for f in dataclasses.fields(REEcosystemConfig)
+        )
+    return _CONFIG_FIELDS
+
+
+def _freeze_value(value):
+    """JSON round-trips turn tuples into lists; config fields are
+    declared as tuples, so normalise sequences back."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def apply_config_overrides(
+    config: REEcosystemConfig, overrides: Mapping[str, object]
+) -> REEcosystemConfig:
+    """Return *config* with *overrides* applied (pure; validates field
+    names so a misspelt override fails instead of silently noop-ing)."""
+    if not overrides:
+        return config
+    names = config_field_names()
+    unknown = sorted(set(overrides) - names)
+    if unknown:
+        raise ReproError(
+            "unknown REEcosystemConfig override(s): %s (known fields: "
+            "see repro.topology.re_config.REEcosystemConfig)"
+            % ", ".join(unknown)
+        )
+    return dataclasses.replace(
+        config,
+        **{name: _freeze_value(value) for name, value in overrides.items()},
+    )
+
+
+def scenario_overrides(name: str) -> Dict[str, object]:
+    """The override dict for scenario *name* (raises on unknown)."""
+    try:
+        return dict(SCENARIO_PRESETS[name])
+    except KeyError:
+        raise ReproError(
+            "unknown scenario %r (known: %s)"
+            % (name, ", ".join(sorted(SCENARIO_PRESETS)))
+        ) from None

@@ -11,7 +11,7 @@ import pytest
 from repro import REEcosystemConfig, build_ecosystem
 from repro.core.classify import classify_experiment, origin_map
 from repro.core.report import reproduce_paper
-from repro.experiment import run_both_experiments
+from repro.experiment import run_experiment_pair
 
 #: Scale used by the shared fixtures: small enough to keep the suite
 #: fast, large enough for distribution-level assertions.
@@ -39,7 +39,7 @@ def ecosystem():
 
 @pytest.fixture(scope="session")
 def both_results(ecosystem):
-    return run_both_experiments(ecosystem, seed=TEST_SEED)
+    return run_experiment_pair(ecosystem, seed=TEST_SEED)
 
 
 @pytest.fixture(scope="session")
