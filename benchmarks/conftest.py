@@ -10,7 +10,10 @@ Every benchmark additionally emits a machine-readable
 ``BENCH_<name>.json`` artifact (wall seconds, key counts, git SHA —
 see :func:`emit_bench`) into ``REPRO_BENCH_OUT`` (default: the
 current directory), so CI can archive and diff benchmark results
-across commits without scraping stdout.
+across commits without scraping stdout.  Each emitted payload is also
+appended to ``BENCH_HISTORY.jsonl`` in the same directory (see
+:mod:`repro.obs.benchtrack`), growing the trajectory that
+``repro bench-diff`` gates on.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import pytest
 from repro import REEcosystemConfig, build_ecosystem
 from repro.core.classify import classify_experiment, origin_map
 from repro.experiment import run_experiment_pair
+from repro.obs.benchtrack import append_history, history_path
 
 BENCH_SEED = 20250605
 
@@ -96,6 +100,7 @@ def emit_bench(name: str, seconds: float, counts: Optional[dict] = None) -> str:
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(payload, stream, indent=1, sort_keys=True)
         stream.write("\n")
+    append_history(payload, path=history_path(out_dir))
     return path
 
 

@@ -350,6 +350,7 @@ def run_experiment(
     seed_plan: Optional[SeedPlan] = None,
     *,
     workers: Optional[int] = None,
+    progress_hook: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one experiment from its spec; the facade entry point.
 
@@ -364,10 +365,18 @@ def run_experiment(
     attached as ``result.provenance_events``; an already-active
     recorder (e.g. the CLI's) is left in place and keeps receiving
     events as usual.
+
+    *progress_hook*, when given, is called with keyword fields
+    (``phase``, ``rounds_completed``, ``shards_completed``, ...) as
+    the run advances — the live-telemetry channel campaign heartbeats
+    and status consoles hang off.  Strictly observational; it never
+    changes results.
     """
     from .obs.provenance import active_recorder
 
     runner = build_runner(spec, ecosystem, seed_plan, workers=workers)
+    if progress_hook is not None:
+        runner.progress_hook = progress_hook
     if spec.wants_provenance and active_recorder() is None:
         recorder = ProvenanceRecorder(
             capacity=spec.provenance_capacity or DEFAULT_CAPACITY,

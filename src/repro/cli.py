@@ -16,12 +16,19 @@
   :mod:`repro.core.explain`);
 - ``age-model`` — print the Figure 7 state diagrams;
 - ``funnel`` — print the §3.2 seed coverage funnel for a fresh
-  ecosystem.
+  ecosystem;
+- ``status`` — show a sweep campaign's live progress from its
+  heartbeat files (one-shot or ``--watch``; see
+  :mod:`repro.experiment.status`);
+- ``bench-diff`` — compare the latest benchmark runs against the
+  recorded ``BENCH_HISTORY.jsonl`` trajectory and exit non-zero on a
+  wall-time regression (see :mod:`repro.obs.benchtrack`).
 
 ``reproduce``, ``explain``, and ``sweep`` share identical common
 options via argparse parent parsers: the run options
 (``--seed/--workers/--shard-size/--fault-plan/--shard-timeout``) and
 the observability options (``--log-level/--log-json/--metrics-out/
+--metrics-format/--telemetry-out/--telemetry-interval/
 --provenance-out/--provenance-capacity/--trace-out``).
 """
 
@@ -44,7 +51,10 @@ from .dataio.json_results import (
     signals_from_records,
 )
 from .errors import AnalysisError, ExperimentError, ReproError
+from .experiment.status import DEFAULT_STALE_AFTER_SECONDS
 from .obs import configure_logging, get_registry
+from .obs.benchtrack import DEFAULT_THRESHOLD_PCT
+from .obs.telemetry import DEFAULT_INTERVAL_SECONDS, TelemetrySampler
 from .obs.provenance import (
     DEFAULT_CAPACITY,
     ProvenanceRecorder,
@@ -101,8 +111,26 @@ def _obs_options() -> argparse.ArgumentParser:
     )
     parent.add_argument(
         "--metrics-out", metavar="PATH",
-        help="write a JSON metrics snapshot (engine/prober/runner "
-             "counters and span histograms) after the run",
+        help="write a metrics snapshot (engine/prober/runner counters "
+             "and span histograms) after the run",
+    )
+    parent.add_argument(
+        "--metrics-format", choices=("json", "openmetrics"),
+        default="json",
+        help="format for --metrics-out: json (default) or OpenMetrics "
+             "text exposition for Prometheus tooling",
+    )
+    parent.add_argument(
+        "--telemetry-out", metavar="FILE.jsonl",
+        help="sample the metrics registry on a wall-clock interval "
+             "during the run and append one JSON line per sample "
+             "(append-only; a resumed campaign extends the series)",
+    )
+    parent.add_argument(
+        "--telemetry-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="seconds between telemetry samples (default: %.0f)"
+             % DEFAULT_INTERVAL_SECONDS,
     )
     parent.add_argument(
         "--provenance-out", metavar="FILE.jsonl",
@@ -226,6 +254,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     funnel.add_argument("--scale", type=float, default=0.1)
     funnel.add_argument("--seed", type=int, default=0)
+
+    status = sub.add_parser(
+        "status",
+        help="show a sweep campaign's progress from its heartbeat "
+             "files (works while the sweep runs in another process)",
+    )
+    status.add_argument(
+        "campaign_dir", metavar="DIR",
+        help="the --campaign-dir of the sweep to inspect",
+    )
+    status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS until the campaign completes "
+             "(default: print once and exit)",
+    )
+    status.add_argument(
+        "--stale-after", type=float,
+        default=DEFAULT_STALE_AFTER_SECONDS, metavar="SECONDS",
+        help="flag a running cell whose heartbeat is older than this "
+             "as stale / candidate-dead (default: %.0f)"
+             % DEFAULT_STALE_AFTER_SECONDS,
+    )
+    status.add_argument(
+        "--no-cells", action="store_true",
+        help="omit the per-cell table (grid summary only)",
+    )
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare the latest benchmark runs against the recorded "
+             "BENCH_HISTORY.jsonl trajectory; exits 1 on regression",
+    )
+    bench_diff.add_argument(
+        "--history", metavar="FILE.jsonl", default=None,
+        help="history file (default: BENCH_HISTORY.jsonl in "
+             "$REPRO_BENCH_OUT or the working directory)",
+    )
+    bench_diff.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+        metavar="PCT",
+        help="regression threshold: latest more than PCT%% over the "
+             "baseline median fails (default: %.0f)"
+             % DEFAULT_THRESHOLD_PCT,
+    )
     return parser
 
 
@@ -253,6 +325,8 @@ def _validate_run_args(args) -> Optional[str]:
         return "--shard-timeout must be positive"
     if args.provenance_capacity is not None and args.provenance_capacity < 1:
         return "--provenance-capacity must be >= 1"
+    if args.telemetry_interval is not None and args.telemetry_interval <= 0:
+        return "--telemetry-interval must be positive"
     return None
 
 
@@ -262,11 +336,46 @@ def _configure_obs(args) -> None:
 
 
 def _write_metrics(args) -> None:
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as stream:
-            stream.write(get_registry().to_json())
-            stream.write("\n")
-        print("wrote metrics snapshot to %s" % args.metrics_out)
+    if not args.metrics_out:
+        return
+    if getattr(args, "metrics_format", "json") == "openmetrics":
+        from .obs.export import write_openmetrics
+
+        families = write_openmetrics(args.metrics_out)
+        print(
+            "wrote %d metric families (OpenMetrics) to %s"
+            % (families, args.metrics_out)
+        )
+        return
+    with open(args.metrics_out, "w", encoding="utf-8") as stream:
+        stream.write(get_registry().to_json())
+        stream.write("\n")
+    print("wrote metrics snapshot to %s" % args.metrics_out)
+
+
+def _start_telemetry(args) -> Optional[TelemetrySampler]:
+    """Start the background sampler when ``--telemetry-out`` was given
+    (returns ``None`` otherwise)."""
+    if not args.telemetry_out:
+        return None
+    sampler = TelemetrySampler(
+        interval=args.telemetry_interval or DEFAULT_INTERVAL_SECONDS,
+        out_path=args.telemetry_out,
+    )
+    return sampler.start()
+
+
+def _stop_telemetry(sampler: Optional[TelemetrySampler]) -> None:
+    if sampler is None:
+        return
+    lines = sampler.stop()
+    # Stderr, like the degradation notice: the sample count depends on
+    # wall-clock timing, so stdout stays byte-identical with and
+    # without --telemetry-out.
+    print(
+        "wrote %d telemetry sample(s) to %s" % (lines, sampler.out_path),
+        file=sys.stderr,
+    )
 
 
 def _write_trace(args) -> None:
@@ -304,7 +413,7 @@ def _cmd_reproduce(args) -> int:
     _configure_obs(args)
     problem = _check_output_paths(
         args.metrics_out, args.provenance_out, args.trace_out,
-        args.degradations_out,
+        args.degradations_out, args.telemetry_out,
     ) or _validate_run_args(args)
     if problem:
         print(problem, file=sys.stderr)
@@ -320,6 +429,7 @@ def _cmd_reproduce(args) -> int:
         recorder = enable_provenance(
             capacity=args.provenance_capacity or DEFAULT_CAPACITY
         )
+    sampler = _start_telemetry(args)
     try:
         report = reproduce_paper(
             spec.ecosystem_config(), seed=spec.seed,
@@ -329,6 +439,7 @@ def _cmd_reproduce(args) -> int:
     finally:
         if recorder is not None:
             disable_provenance()
+        _stop_telemetry(sampler)
     print(report.render())
     if args.figures:
         from .core.figures import (
@@ -431,7 +542,8 @@ def _cmd_sweep(args) -> int:
 
     _configure_obs(args)
     problem = _check_output_paths(
-        args.metrics_out, args.provenance_out, args.trace_out
+        args.metrics_out, args.provenance_out, args.trace_out,
+        args.telemetry_out,
     ) or _validate_run_args(args)
     if not problem and args.campaign_workers < 1:
         problem = "--campaign-workers must be >= 1"
@@ -472,6 +584,7 @@ def _cmd_sweep(args) -> int:
         pool_workers=args.campaign_workers,
         resume=not args.no_resume,
     )
+    sampler = _start_telemetry(args)
     try:
         result = runner.run()
     except ExperimentError as error:
@@ -480,6 +593,7 @@ def _cmd_sweep(args) -> int:
     finally:
         if recorder is not None:
             disable_provenance()
+        _stop_telemetry(sampler)
     print(result.summary.render())
     print()
     print(
@@ -502,7 +616,8 @@ def _cmd_explain(args) -> int:
 
     _configure_obs(args)
     problem = _check_output_paths(
-        args.metrics_out, args.provenance_out, args.trace_out
+        args.metrics_out, args.provenance_out, args.trace_out,
+        args.telemetry_out,
     ) or _validate_run_args(args)
     if problem:
         print(problem, file=sys.stderr)
@@ -520,6 +635,7 @@ def _cmd_explain(args) -> int:
     except ReproError as error:
         print(str(error), file=sys.stderr)
         return 2
+    sampler = _start_telemetry(args)
     try:
         narrative = explain_prefix(
             args.prefix,
@@ -542,6 +658,8 @@ def _cmd_explain(args) -> int:
     except ReproError as error:
         print(str(error), file=sys.stderr)
         return 2
+    finally:
+        _stop_telemetry(sampler)
     print(narrative)
     _write_metrics(args)
     if recorder is not None:
@@ -600,6 +718,76 @@ def _cmd_funnel(args) -> int:
     return 0
 
 
+def _cmd_status(args) -> int:
+    from .experiment.status import CampaignStatus
+
+    if args.stale_after <= 0:
+        print("--stale-after must be positive", file=sys.stderr)
+        return 2
+    if args.watch is not None and args.watch <= 0:
+        print("--watch must be positive", file=sys.stderr)
+        return 2
+    directory = args.campaign_dir
+    if not os.path.isdir(directory):
+        print("not a directory: %s" % directory, file=sys.stderr)
+        return 2
+
+    def load() -> CampaignStatus:
+        return CampaignStatus.load(directory, stale_after=args.stale_after)
+
+    status = load()
+    if status.total == 0:
+        print(
+            "no campaign state in %s (expected grid.json, cells/ or "
+            "status/ — is this a --campaign-dir?)" % directory,
+            file=sys.stderr,
+        )
+        return 2
+    if args.watch is None:
+        print(status.render(verbose=not args.no_cells))
+        return 1 if status.count("failed") else 0
+    import time
+    while True:
+        print(status.render(verbose=not args.no_cells))
+        sys.stdout.flush()
+        if status.complete:
+            return 0
+        if status.count("failed") and status.count("running") == 0:
+            # Nothing is moving and something failed: watching further
+            # cannot change the outcome.
+            return 1
+        print()
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 130
+        status = load()
+
+
+def _cmd_bench_diff(args) -> int:
+    from .obs import benchtrack
+
+    if args.threshold < 0:
+        print("--threshold must be >= 0", file=sys.stderr)
+        return 2
+    path = args.history or benchtrack.history_path()
+    try:
+        entries = benchtrack.load_history(path)
+    except FileNotFoundError:
+        print(
+            "no benchmark history at %s (run the benchmarks to seed "
+            "it)" % path,
+            file=sys.stderr,
+        )
+        return 2
+    if not entries:
+        print("benchmark history %s is empty" % path, file=sys.stderr)
+        return 2
+    deltas = benchtrack.diff_latest(entries, threshold_pct=args.threshold)
+    print(benchtrack.render_diff(deltas, args.threshold))
+    return 1 if any(delta.regressed for delta in deltas) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -609,6 +797,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "age-model": _cmd_age_model,
         "funnel": _cmd_funnel,
+        "status": _cmd_status,
+        "bench-diff": _cmd_bench_diff,
     }
     try:
         return handlers[args.command](args)

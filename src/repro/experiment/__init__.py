@@ -12,7 +12,10 @@
   shard/merge records of the parallel path;
 - :mod:`repro.experiment.campaign` — sweep orchestration: grids of
   (seed × scenario × experiment) cells with cell-level process
-  parallelism and digest-keyed resumable checkpoints.
+  parallelism and digest-keyed resumable checkpoints;
+- :mod:`repro.experiment.status` — campaign heartbeats
+  (``status/<digest>.json``) and the :class:`CampaignStatus` read
+  model behind ``repro status``.
 """
 
 from .schedule import (
@@ -37,10 +40,14 @@ from .campaign import (
     plan_grid,
     run_experiment_pair,
 )
+from .status import CampaignStatus, CellHeartbeat, CellStatus
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "CampaignStatus",
+    "CellHeartbeat",
+    "CellStatus",
     "CellOutcome",
     "CellWork",
     "plan_grid",

@@ -70,6 +70,7 @@ from ..topology.re_ecosystem import Ecosystem
 from .parallel import _fork_available
 from .records import ExperimentResult
 from .schedule import ExperimentSchedule
+from .status import STATUS_DIRNAME, CellHeartbeat, write_grid_manifest
 
 __all__ = [
     "CellWork",
@@ -214,11 +215,18 @@ def identity_view(record: dict) -> dict:
     return {k: v for k, v in record.items() if k != "wall_seconds"}
 
 
-def _run_cell(work: CellWork, index: int, isolate: bool) -> CellOutcome:
+def _run_cell(
+    work: CellWork,
+    index: int,
+    isolate: bool,
+    heartbeat: Optional[CellHeartbeat] = None,
+) -> CellOutcome:
     """Execute one cell.  With ``isolate`` (pooled mode) an inherited
     active recorder is swapped for a fresh one whose events ship back
     to the parent; inline mode records straight into it, exactly like
-    a standalone run."""
+    a standalone run.  *heartbeat*, when given, tracks the cell's
+    phase/round progress in ``status/<digest>.json`` (purely
+    observational — results are identical with or without it)."""
     spec = work.spec
     started = time.perf_counter()
     runner = build_runner(
@@ -226,6 +234,9 @@ def _run_cell(work: CellWork, index: int, isolate: bool) -> CellOutcome:
         schedule=work.schedule, fault_plan=work.fault_plan,
         workers=work.inner_workers,
     )
+    if heartbeat is not None:
+        heartbeat.begin(rounds_total=spec.num_rounds)
+        runner.progress_hook = heartbeat.progress
     parent_recorder = active_recorder()
     ship_to_parent = isolate and parent_recorder is not None
     local: Optional[ProvenanceRecorder] = None
@@ -253,6 +264,8 @@ def _run_cell(work: CellWork, index: int, isolate: bool) -> CellOutcome:
     if work.build_record:
         record = cell_record(spec, result, runner.ecosystem)
         record["wall_seconds"] = time.perf_counter() - started
+    if heartbeat is not None:
+        heartbeat.done(wall_seconds=time.perf_counter() - started)
     return CellOutcome(
         index=index,
         digest=spec.digest(),
@@ -269,23 +282,45 @@ def _run_cell(work: CellWork, index: int, isolate: bool) -> CellOutcome:
 # Dispatch
 
 _CELL_WORKS: Optional[Sequence[CellWork]] = None
+_CELL_STATUS_DIR: Optional[str] = None
 
 
-def _init_cell_pool(works: Sequence[CellWork]) -> None:
-    global _CELL_WORKS
+def _init_cell_pool(
+    works: Sequence[CellWork], status_dir: Optional[str] = None
+) -> None:
+    global _CELL_WORKS, _CELL_STATUS_DIR
     _CELL_WORKS = works
+    _CELL_STATUS_DIR = status_dir
+
+
+def _make_heartbeat(
+    spec: ExperimentSpec, status_dir: Optional[str]
+) -> Optional[CellHeartbeat]:
+    if status_dir is None:
+        return None
+    return CellHeartbeat(status_dir, spec.digest(), spec.label())
 
 
 def _cell_worker(index: int) -> CellOutcome:
     """Pool entry point: run one cell under isolated obs state and
-    ship snapshots back for in-order merging."""
+    ship snapshots back for in-order merging.  The worker maintains
+    its own digest-keyed heartbeat file (fresh registry, so the
+    mirrored counters are strictly this cell's)."""
     if _CELL_WORKS is None:
         raise ExperimentError("cell worker used before initialisation")
     work = _CELL_WORKS[index]
     registry = MetricsRegistry()
+    heartbeat = _make_heartbeat(work.spec, _CELL_STATUS_DIR)
     with use_registry(registry), detached_trace():
         with span("campaign.cell.%s" % work.spec.label()) as record:
-            outcome = _run_cell(work, index, isolate=True)
+            try:
+                outcome = _run_cell(
+                    work, index, isolate=True, heartbeat=heartbeat
+                )
+            except Exception as error:
+                if heartbeat is not None:
+                    heartbeat.failed(str(error))
+                raise
         registry.counter("campaign.cells_completed").inc()
         outcome.trace = record.as_dict()
     outcome.metrics = registry.snapshot()
@@ -300,6 +335,7 @@ def dispatch_cells(
     works: Sequence[CellWork],
     pool_workers: int = 1,
     on_outcome: Optional[Callable[[CellOutcome], None]] = None,
+    status_dir: Optional[str] = None,
 ) -> Tuple[List[Optional[CellOutcome]], List[CellFailure]]:
     """Run *works*, pooled across processes when ``pool_workers > 1``
     (and ``fork`` exists), inline otherwise.
@@ -310,17 +346,24 @@ def dispatch_cells(
     never recomputed.  In pooled mode the parent merges worker metrics
     snapshots, re-attaches span trees, and extends its active
     provenance recorder strictly in cell order, reproducing the inline
-    observability streams.
+    observability streams.  With *status_dir*, every executing cell —
+    inline or pooled — maintains a ``<status_dir>/<digest>.json``
+    heartbeat (see :mod:`repro.experiment.status`).
     """
     outcomes: List[Optional[CellOutcome]] = [None] * len(works)
     failures: List[CellFailure] = []
     if not _pooled(pool_workers, len(works)):
         for index, work in enumerate(works):
+            heartbeat = _make_heartbeat(work.spec, status_dir)
             try:
                 with span("campaign.cell.%s" % work.spec.label()):
-                    outcome = _run_cell(work, index, isolate=False)
+                    outcome = _run_cell(
+                        work, index, isolate=False, heartbeat=heartbeat
+                    )
                 get_registry().counter("campaign.cells_completed").inc()
             except Exception as error:
+                if heartbeat is not None:
+                    heartbeat.failed(str(error))
                 failures.append(CellFailure(
                     index, work.spec.digest(), work.spec.label(), str(error)
                 ))
@@ -336,7 +379,7 @@ def dispatch_cells(
         max_workers=min(pool_workers, len(works)),
         mp_context=context,
         initializer=_init_cell_pool,
-        initargs=(works,),
+        initargs=(works, status_dir),
     ) as pool:
         futures = {
             pool.submit(_cell_worker, index): index
@@ -347,6 +390,13 @@ def dispatch_cells(
             try:
                 outcome = future.result()
             except Exception as error:
+                # A worker that died outright (crash, pool breakage)
+                # never marked its own heartbeat; do it from here so
+                # the status console shows "failed", not eternal
+                # "running".
+                beat = _make_heartbeat(works[index].spec, status_dir)
+                if beat is not None:
+                    beat.failed(str(error))
                 failures.append(CellFailure(
                     index, works[index].spec.digest(),
                     works[index].spec.label(), str(error),
@@ -532,6 +582,10 @@ class CampaignRunner:
     def cells_dir(self) -> str:
         return os.path.join(self.directory, "cells")
 
+    @property
+    def status_dir(self) -> str:
+        return os.path.join(self.directory, STATUS_DIRNAME)
+
     def cell_path(self, digest: str) -> str:
         return os.path.join(self.cells_dir, "%s.json" % digest)
 
@@ -581,6 +635,11 @@ class CampaignRunner:
 
     def run(self) -> CampaignResult:
         started = time.perf_counter()
+        # The observable grid: a manifest so `repro status` knows what
+        # "complete" means, a total gauge so telemetry can rate
+        # `campaign.cells_completed` into a completion fraction.
+        write_grid_manifest(self.directory, self.specs)
+        get_registry().gauge("campaign.cells_total").set(len(self.specs))
         records: Dict[str, dict] = {}
         pending: List[ExperimentSpec] = []
         skipped = 0
@@ -589,6 +648,14 @@ class CampaignRunner:
             if checkpoint is not None:
                 records[spec.digest()] = checkpoint
                 skipped += 1
+                # Resumed cells are done without executing; give them
+                # a heartbeat so the console shows the whole grid.
+                heartbeat = _make_heartbeat(spec, self.status_dir)
+                heartbeat.begin(rounds_total=spec.num_rounds)
+                heartbeat.done(
+                    wall_seconds=checkpoint.get("wall_seconds"),
+                    resumed=True,
+                )
             else:
                 pending.append(spec)
         get_registry().counter("campaign.cells_skipped").inc(skipped)
@@ -633,6 +700,7 @@ class CampaignRunner:
                 works,
                 pool_workers=self.pool_workers,
                 on_outcome=checkpoint_outcome,
+                status_dir=self.status_dir,
             )
 
         result.completed = len(records) - skipped

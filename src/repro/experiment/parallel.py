@@ -693,6 +693,9 @@ class ShardedRunner(ExperimentRunner):
             attempts=attempts,
             failures=detail,
         )
+        # Refresh any heartbeat so its mirrored retry/fallback
+        # counters surface while the round is still running.
+        self._report_progress(phase="probing")
 
     # ----- the probing round, sharded ---------------------------------
 
@@ -738,10 +741,17 @@ class ShardedRunner(ExperimentRunner):
             # against the parent's own target table, with transmit
             # times recomputed from the same global probe indices the
             # workers used.
-            for spec, future in zip(specs, futures):
+            for merged_shards, (spec, future) in enumerate(
+                zip(specs, futures), start=1
+            ):
                 outcome = self._shard_outcome(
                     spec, snapshot, provenance,
                     directives.get(spec.shard_id), future,
+                )
+                self._report_progress(
+                    phase="probing",
+                    shards_completed=merged_shards,
+                    shards_total=len(specs),
                 )
                 row_iter = iter(outcome.rows)
                 probe_index = spec.start_index

@@ -76,6 +76,22 @@ class ExperimentRunner:
         #: :class:`~repro.experiment.parallel.ShardedRunner`.
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._degradations: list = []
+        #: Optional progress callback (``hook(**fields)``) fired as the
+        #: run advances — campaign heartbeats hang off it.  Strictly
+        #: observational: exceptions are swallowed, results untouched.
+        self.progress_hook = None
+
+    def _report_progress(self, **fields) -> None:
+        hook = self.progress_hook
+        if hook is None:
+            return
+        try:
+            hook(**fields)
+        except Exception as error:  # telemetry must never fail the run
+            _log.warning(
+                "progress hook failed",
+                experiment=self.experiment, error=str(error),
+            )
 
     # ------------------------------------------------------------------
 
@@ -113,6 +129,17 @@ class ExperimentRunner:
         flap_rng = self.tree.child("background-flaps").rng()
         prefix = ecosystem.measurement_prefix
         rib = engine_rib(engine, prefix)
+
+        # Progress plane: a total for the sampler/heartbeats to rate
+        # `runner.rounds_completed` against, plus the initial tick.
+        get_registry().gauge("runner.rounds_total").set(
+            len(schedule.configs)
+        )
+        self._report_progress(
+            phase="converging",
+            rounds_completed=0,
+            rounds_total=len(schedule.configs),
+        )
 
         # Phase 0: commodity announcement soaks alone.
         result.convergence.append(
@@ -424,10 +451,18 @@ class ExperimentRunner:
         """Publish one round's counters after its span closes."""
         messages = result.round_messages_delivered(index)
         registry = get_registry()
+        # Monotonic progress counter: increments as each of the nine
+        # rounds completes, so a telemetry sampler (or heartbeat) can
+        # watch a run move instead of learning everything at the end.
         registry.counter("runner.rounds_completed").inc()
         registry.histogram(
             "runner.round_messages", _MESSAGE_BUCKETS
         ).observe(messages)
+        self._report_progress(
+            phase="probing",
+            rounds_completed=index + 1,
+            config=config_label,
+        )
         if _log.is_enabled_for("info"):
             round_result = result.rounds[index]
             _log.info(

@@ -13,7 +13,13 @@ Zero-dependency instrumentation for the engine → runner → CLI stack:
   (route-selection steps, per-round prefix signals) in a bounded ring
   buffer with JSONL export, disabled until a recorder is installed;
 - :mod:`repro.obs.export` — render completed span trees to Chrome
-  trace-event JSON (``chrome://tracing`` / Perfetto loadable).
+  trace-event JSON (``chrome://tracing`` / Perfetto loadable) and
+  metrics snapshots to OpenMetrics text (Prometheus tooling);
+- :mod:`repro.obs.telemetry` — :class:`TelemetrySampler`: periodic
+  background sampling of the registry into a bounded time-series ring
+  plus append-only JSONL, turning counters into rate-able series;
+- :mod:`repro.obs.benchtrack` — benchmark trajectory: append-only
+  ``BENCH_HISTORY.jsonl`` plus latest-vs-baseline regression diffs.
 
 Everything is off-by-default and adds near-zero overhead when idle:
 hot paths accumulate into locals and flush per convergence run or per
@@ -39,8 +45,10 @@ from .provenance import (
     use_provenance,
 )
 from .spans import SpanRecord, current_span, finished_roots, reset_trace, span
+from .telemetry import TelemetrySampler
 
 __all__ = [
+    "TelemetrySampler",
     "ProvenanceRecorder",
     "active_recorder",
     "enable_provenance",

@@ -107,7 +107,10 @@ class Logger:
         record.update(self._context)
         record.update(fields)
         if _config["json"]:
-            line = json.dumps(record, sort_keys=False, default=str)
+            # sort_keys, like every other obs JSON export: two lines
+            # with the same fields are byte-comparable regardless of
+            # bind/emit insertion order.
+            line = json.dumps(record, sort_keys=True, default=str)
         else:
             line = " ".join(
                 "%s=%s" % (key, _format_kv_value(value))

@@ -200,6 +200,18 @@ class TestLogging:
         assert record["b"] == "two"
         assert record["level"] == "debug"
 
+    def test_json_lines_have_sorted_keys(self):
+        """JSON log lines are deterministic: keys serialise sorted, so
+        the same event always yields the same bytes (regression — the
+        emitter used ``sort_keys=False``)."""
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=True, stream=stream)
+        get_logger("repro.test").info("hi", zebra=1, alpha=2, mid=3)
+        line = stream.getvalue().strip()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+        assert line.index('"alpha"') < line.index('"zebra"')
+
     def test_level_threshold_filters(self):
         stream = io.StringIO()
         configure_logging(level="warning", stream=stream)
