@@ -38,6 +38,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from .bgp.arraytable import DECISION_BACKENDS
 from .errors import ExperimentError
 from .experiment.records import ExperimentResult
 from .experiment.runner import ExperimentRunner
@@ -66,8 +67,9 @@ __all__ = [
 
 #: Bumped whenever a spec field is added/renamed/re-interpreted, so a
 #: campaign checkpoint written by an older schema never silently
-#: matches a newer spec's digest.
-SPEC_SCHEMA_VERSION = 1
+#: matches a newer spec's digest.  Version 2 added
+#: ``decision_backend``.
+SPEC_SCHEMA_VERSION = 2
 
 _EXPERIMENTS = ("surf", "internet2")
 
@@ -122,6 +124,13 @@ class ExperimentSpec:
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     configs: Optional[Tuple[str, ...]] = None
     pps: int = 100
+    #: Route-selection implementation ("object" filters Route lists
+    #: through the oracle; "array" selects over decision-key columns
+    #: — see :mod:`repro.bgp.arraytable`).  Results are byte-identical
+    #: under both; like every field, it is digest-affecting, so cells
+    #: computed under different backends checkpoint separately and the
+    #: identity stays independently checkable.
+    decision_backend: str = "object"
     workers: int = 1
     shard_size: Optional[int] = None
     shard_timeout: Optional[float] = None
@@ -152,6 +161,11 @@ class ExperimentSpec:
             )
         if self.scale <= 0:
             raise ExperimentError("scale must be positive")
+        if self.decision_backend not in DECISION_BACKENDS:
+            raise ExperimentError(
+                "decision_backend must be one of %s, not %r"
+                % ("/".join(DECISION_BACKENDS), self.decision_backend)
+            )
         if self.pps < 1:
             raise ExperimentError("pps must be >= 1")
         if self.workers < 1:
@@ -333,6 +347,7 @@ def build_runner(
         return ExperimentRunner(
             ecosystem, spec.experiment, seed=spec.run_seed,
             schedule=schedule, seed_plan=seed_plan, pps=spec.pps,
+            decision_backend=spec.decision_backend,
         )
     from .experiment.parallel import ShardedRunner
 
@@ -341,6 +356,7 @@ def build_runner(
         schedule=schedule, seed_plan=seed_plan, pps=spec.pps,
         workers=effective_workers, shard_size=spec.shard_size,
         shard_timeout=spec.shard_timeout, fault_plan=fault_plan,
+        decision_backend=spec.decision_backend,
     )
 
 

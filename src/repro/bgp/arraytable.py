@@ -1,0 +1,462 @@
+"""Array-based RIB and vectorized best-route selection.
+
+The object-based decision process (:mod:`repro.bgp.decision`) filters
+lists of :class:`~repro.bgp.attributes.Route` objects step by step —
+correct and auditable, but every selection pays ~10 Python-level
+callable invocations per candidate plus several list allocations.  At
+scale 1.0 (~10K ASes, ~18K prefixes) that object churn dominates the
+nine-config sweep's wall time (the ROADMAP's cells/minute lever).
+
+This module keeps the routes in structure-of-arrays form instead:
+prefix-major parallel columns of localpref, AS-path length, MED, origin
+age and neighbor ASN (plain :mod:`array` columns, numpy-optional), and
+resolves each decision step as one masked min pass over a whole prefix
+shard rather than per-route object comparisons.
+
+Correctness rests on one identity: every sequential run of the decision
+steps is a *lexicographic minimization*.  Step ``k`` keeps the rows
+minimizing column ``k`` among the rows that survived steps ``1..k-1``,
+so the unique final survivor is exactly ``min(rows)`` under the key
+tuple ``(-localpref, path_len, med, installed_at, neighbor)`` (with the
+variant-dependent components omitted for ASes that skip those steps).
+The encoding must preserve each step's ordering exactly — in particular
+an unknown neighbor (``learned_from=None``) encodes as ``+inf``
+(:data:`NEIGHBOR_NONE`), matching ``_lowest_neighbor_asn``'s sentinel,
+so it *loses* ties instead of beating every real neighbor the way a 0
+encoding would.
+
+:class:`~repro.bgp.decision.DecisionProcess` remains the oracle: the
+provenance layer always narrates via ``best_verbose`` (raw attribute
+values, not encodings), and the differential/property test layer pins
+winner *and* per-step survivor equality against it.
+
+Backend selection is threaded through
+:func:`use_decision_backend` / :func:`active_decision_backend` so bulk
+analyses (fastpath callers deep in the collector pipeline) follow the
+run's ``--decision-backend`` flag without every call site growing a
+parameter.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import PolicyError
+from .attributes import Route
+from .decision import Step
+
+try:  # numpy accelerates the batch path but is never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in numpy-free CI
+    _np = None
+
+__all__ = [
+    "DECISION_BACKENDS",
+    "NEIGHBOR_NONE",
+    "ArrayRibGroup",
+    "ArrayRouteTable",
+    "GroupSelection",
+    "active_decision_backend",
+    "encode_neighbor",
+    "key_encoder",
+    "use_decision_backend",
+    "validate_backend",
+]
+
+DECISION_BACKENDS = ("object", "array")
+
+#: Encoding of ``learned_from=None`` in the neighbor column.  ``+inf``
+#: mirrors ``decision._lowest_neighbor_asn``: a route without a
+#: neighbor to compare loses the final tie-break to any route with a
+#: real neighbor ASN (0 would silently *win* every tie instead).
+NEIGHBOR_NONE = float("inf")
+
+
+def _active_numpy():
+    """numpy, unless absent or disabled via ``REPRO_PURE_ARRAY=1``
+    (tests force the pure-python path through either knob)."""
+    if os.environ.get("REPRO_PURE_ARRAY"):
+        return None
+    return _np
+
+
+# ---------------------------------------------------------------------
+# Backend context
+
+
+_ACTIVE_BACKEND = "object"
+
+
+def validate_backend(name: str) -> str:
+    if name not in DECISION_BACKENDS:
+        raise PolicyError(
+            "unknown decision backend %r (choose from %s)"
+            % (name, "/".join(DECISION_BACKENDS))
+        )
+    return name
+
+
+def active_decision_backend() -> str:
+    """The backend new routers/fastpath calls default to."""
+    return _ACTIVE_BACKEND
+
+
+@contextmanager
+def use_decision_backend(name: str) -> Iterator[str]:
+    """Make *name* the default decision backend inside the block.
+
+    Both backends produce byte-identical results (that is the whole
+    contract), so this only chooses the selection *implementation*;
+    nesting restores the previous backend on exit.
+    """
+    global _ACTIVE_BACKEND
+    previous = _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = validate_backend(name)
+    try:
+        yield name
+    finally:
+        _ACTIVE_BACKEND = previous
+
+
+# ---------------------------------------------------------------------
+# Key encoding
+
+
+def encode_neighbor(learned_from: Optional[int]) -> float:
+    return NEIGHBOR_NONE if learned_from is None else learned_from
+
+
+#: Per-step column extractors, ordered so that the per-step minimum is
+#: the step's winner (localpref is negated; see decision.py).
+_STEP_ENCODERS: Dict[Step, Callable[[Route], float]] = {
+    Step.HIGHEST_LOCALPREF: lambda r: -r.localpref,
+    Step.SHORTEST_AS_PATH: lambda r: len(r.path.asns),
+    Step.LOWEST_MED: lambda r: r.med,
+    Step.OLDEST_ROUTE: lambda r: r.installed_at,
+    Step.LOWEST_NEIGHBOR_ASN: lambda r: encode_neighbor(r.learned_from),
+}
+
+_ENCODER_CACHE: Dict[Tuple[Step, ...], Callable[[Route], tuple]] = {}
+
+
+def key_encoder(steps: Sequence[Step]) -> Callable[[Route], tuple]:
+    """A ``Route -> key tuple`` encoder for one decision process.
+
+    ``min()`` over the produced tuples equals running *steps* in
+    order: each tuple component preserves the corresponding step's
+    ordering, so lexicographic comparison *is* the sequential
+    tie-break.  Encoders are cached per step signature (there are only
+    four variants; see ``DecisionProcess.standard``).
+    """
+    signature = tuple(steps)
+    encoder = _ENCODER_CACHE.get(signature)
+    if encoder is None:
+        extractors = tuple(_STEP_ENCODERS[step] for step in signature)
+        def encoder(route: Route, _extractors=extractors) -> tuple:
+            return tuple(extract(route) for extract in _extractors)
+        _ENCODER_CACHE[signature] = encoder
+    return encoder
+
+
+def _tied_routes_error(routes: Sequence[Route]) -> PolicyError:
+    # Same failure mode as DecisionProcess.best: two distinct routes
+    # from the same RIB surviving every step is an ill-formed table.
+    return PolicyError(
+        "decision process did not yield a unique best route: %s"
+        % ("; ".join(str(route) for route in routes),)
+    )
+
+
+# ---------------------------------------------------------------------
+# Incremental per-prefix group (the engine/fastpath hot path)
+
+
+class ArrayRibGroup:
+    """One prefix's adj-RIB-in, mirrored as a decision-key column.
+
+    The engine and fastpath mutate one (prefix, neighbor) entry at a
+    time and reselect immediately; rebuilding a batch table per
+    selection would cost more than the object path saves.  This group
+    instead keeps a per-row *precomputed* key tuple maintained on
+    mutation, so :meth:`best` is two C-level passes (``min`` + tie
+    check) instead of ~10 Python calls per candidate per selection.
+    """
+
+    __slots__ = ("_encode", "_index", "_keys", "_nbrs", "_routes")
+
+    def __init__(self, steps: Sequence[Step]) -> None:
+        self._encode = key_encoder(steps)
+        self._index: Dict[int, int] = {}   # neighbor key -> row
+        self._keys: List[tuple] = []
+        self._routes: List[Route] = []
+        self._nbrs: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def set(self, neighbor_key: int, route: Route) -> None:
+        """Install/replace the row for *neighbor_key* (-1 = local)."""
+        row = self._index.get(neighbor_key)
+        key = self._encode(route)
+        if row is None:
+            self._index[neighbor_key] = len(self._keys)
+            self._keys.append(key)
+            self._routes.append(route)
+            self._nbrs.append(neighbor_key)
+        else:
+            self._keys[row] = key
+            self._routes[row] = route
+
+    def remove(self, neighbor_key: int) -> None:
+        """Drop the row for *neighbor_key* (no-op when absent)."""
+        row = self._index.pop(neighbor_key, None)
+        if row is None:
+            return
+        last = len(self._keys) - 1
+        if row != last:
+            self._keys[row] = self._keys[last]
+            self._routes[row] = self._routes[last]
+            self._nbrs[row] = self._nbrs[last]
+            self._index[self._nbrs[row]] = row
+        del self._keys[last]
+        del self._routes[last]
+        del self._nbrs[last]
+
+    def best(self) -> Optional[Route]:
+        """The unique decision-process winner, or None when empty.
+
+        Raises :class:`PolicyError` exactly when the oracle would: two
+        rows carrying the same full key are two routes that survive
+        every step together.
+        """
+        keys = self._keys
+        if not keys:
+            return None
+        if len(keys) == 1:
+            return self._routes[0]
+        smallest = min(keys)
+        if keys.count(smallest) > 1:
+            raise _tied_routes_error(
+                [r for k, r in zip(keys, self._routes) if k == smallest]
+            )
+        return self._routes[keys.index(smallest)]
+
+
+# ---------------------------------------------------------------------
+# Batch structure-of-arrays table
+
+
+@dataclass
+class GroupSelection:
+    """One group's narrated selection (mirrors ``best_verbose``)."""
+
+    key: Any
+    winner: Route
+    winner_index: int            # index into the group's routes
+    winning_step: Optional[str]  # step value that reached uniqueness
+    steps: List[dict]            # {"step", "entering", "survivors"}
+
+
+class ArrayRouteTable:
+    """A prefix-major structure-of-arrays RIB for bulk selection.
+
+    Columns are parallel ``array('d')`` buffers (float64 is exact for
+    every attribute in range: localpref <= 1e6, ASNs < 2^32, MEDs and
+    path lengths are small ints); ``_starts`` holds each group's row
+    offset.  :meth:`select_best` resolves whole shards at once — with
+    numpy, each decision step is one masked ``minimum.reduceat`` pass
+    over every group simultaneously; without it, each group collapses
+    to one C-level ``min`` over zipped key tuples.
+    """
+
+    _COLUMN_ORDER = (
+        Step.HIGHEST_LOCALPREF,
+        Step.SHORTEST_AS_PATH,
+        Step.LOWEST_MED,
+        Step.OLDEST_ROUTE,
+        Step.LOWEST_NEIGHBOR_ASN,
+    )
+
+    def __init__(self) -> None:
+        self._columns: Dict[Step, array] = {
+            step: array("d") for step in self._COLUMN_ORDER
+        }
+        self._route_ids = array("q")      # row -> caller route id
+        self._starts = array("q", [0])    # group row offsets + sentinel
+        self._group_keys: List[Any] = []
+        self._group_steps: List[Tuple[Step, ...]] = []
+        self._routes: List[Route] = []
+
+    def __len__(self) -> int:
+        return len(self._group_keys)
+
+    @property
+    def rows(self) -> int:
+        return len(self._routes)
+
+    def add_group(
+        self,
+        key: Any,
+        routes: Sequence[Route],
+        steps: Sequence[Step],
+    ) -> None:
+        """Append one prefix group (its candidate routes plus the
+        owning AS's decision-step signature)."""
+        routes = list(routes)
+        if not routes:
+            raise PolicyError("cannot add an empty group to ArrayRouteTable")
+        columns = self._columns
+        for step in self._COLUMN_ORDER:
+            encode = _STEP_ENCODERS[step]
+            columns[step].extend(encode(route) for route in routes)
+        base = len(self._routes)
+        self._route_ids.extend(range(base, base + len(routes)))
+        self._routes.extend(routes)
+        self._group_keys.append(key)
+        self._group_steps.append(tuple(steps))
+        self._starts.append(len(self._routes))
+
+    def group_routes(self, group: int) -> List[Route]:
+        start, end = self._starts[group], self._starts[group + 1]
+        return self._routes[start:end]
+
+    # -- selection -----------------------------------------------------
+
+    def select_best(self) -> List[Route]:
+        """Every group's winner, in group insertion order.
+
+        Equals ``[process.best(group) for group in groups]`` by the
+        lexicographic identity (see module docstring); raises
+        :class:`PolicyError` when any group ends with a tie, as the
+        oracle does.
+        """
+        np = _active_numpy()
+        if np is not None and len(self._group_keys) > 1:
+            return self._select_best_numpy(np)
+        return self._select_best_pure()
+
+    def _select_best_pure(self) -> List[Route]:
+        winners: List[Route] = []
+        starts = self._starts
+        columns = self._columns
+        routes = self._routes
+        for group, signature in enumerate(self._group_steps):
+            start, end = starts[group], starts[group + 1]
+            if end - start == 1:
+                winners.append(routes[start])
+                continue
+            keys = list(zip(
+                *(columns[step][start:end] for step in signature)
+            ))
+            smallest = min(keys)
+            if keys.count(smallest) > 1:
+                raise _tied_routes_error([
+                    routes[start + i]
+                    for i, k in enumerate(keys) if k == smallest
+                ])
+            winners.append(routes[start + keys.index(smallest)])
+        return winners
+
+    def _select_best_numpy(self, np) -> List[Route]:
+        n_rows = len(self._routes)
+        n_groups = len(self._group_keys)
+        starts = np.frombuffer(self._starts, dtype=np.int64)[:-1]
+        counts = np.diff(np.frombuffer(self._starts, dtype=np.int64))
+        group_of_row = np.repeat(np.arange(n_groups), counts)
+        surviving = np.ones(n_rows, dtype=bool)
+        group_has = {
+            step: np.fromiter(
+                (step in sig for sig in self._group_steps),
+                dtype=bool, count=n_groups,
+            )
+            for step in self._COLUMN_ORDER
+        }
+        for step in self._COLUMN_ORDER:
+            has = group_has[step]
+            if not has.any():
+                continue
+            column = np.frombuffer(self._columns[step], dtype=np.float64)
+            masked = np.where(surviving, column, np.inf)
+            group_min = np.minimum.reduceat(masked, starts)
+            narrowed = surviving & (masked == group_min[group_of_row])
+            # Groups whose process skips this step keep their
+            # survivors untouched (the masked pass is a no-op there).
+            surviving = np.where(has[group_of_row], narrowed, surviving)
+        survivor_counts = np.add.reduceat(
+            surviving.astype(np.int64), starts
+        )
+        if (survivor_counts > 1).any():
+            group = int(np.argmax(survivor_counts > 1))
+            start, end = self._starts[group], self._starts[group + 1]
+            tied = [
+                self._routes[row]
+                for row in range(start, end) if surviving[row]
+            ]
+            raise _tied_routes_error(tied)
+        # One survivor per group, so the sorted survivor row indices
+        # are already in group order.
+        winner_rows = np.flatnonzero(surviving)
+        routes = self._routes
+        return [routes[int(row)] for row in winner_rows]
+
+    def select_best_verbose(self) -> List[GroupSelection]:
+        """Narrated selection: per-group winner, winning step, and the
+        surviving candidate indices at every step boundary.
+
+        This is the differential-test view of the vectorized path —
+        the masked min passes run step by step (pure python, no fused
+        key) so survivor sets can be compared against
+        ``DecisionProcess.best_verbose`` boundary for boundary.  The
+        loop mirrors the oracle exactly: stop as soon as one candidate
+        survives, record only executed steps.
+        """
+        out: List[GroupSelection] = []
+        starts = self._starts
+        columns = self._columns
+        for group, signature in enumerate(self._group_steps):
+            start, end = starts[group], starts[group + 1]
+            surviving = list(range(end - start))
+            steps_out: List[dict] = []
+            for step in signature:
+                if len(surviving) == 1:
+                    break
+                column = columns[step]
+                smallest = min(column[start + i] for i in surviving)
+                narrowed = [
+                    i for i in surviving
+                    if column[start + i] == smallest
+                ]
+                steps_out.append({
+                    "step": step.value,
+                    "entering": surviving,
+                    "survivors": narrowed,
+                })
+                surviving = narrowed
+            if len(surviving) > 1:
+                raise _tied_routes_error(
+                    [self._routes[start + i] for i in surviving]
+                )
+            winner_index = surviving[0]
+            out.append(GroupSelection(
+                key=self._group_keys[group],
+                winner=self._routes[start + winner_index],
+                winner_index=winner_index,
+                winning_step=(
+                    steps_out[-1]["step"] if steps_out else None
+                ),
+                steps=steps_out,
+            ))
+        return out

@@ -436,6 +436,7 @@ def run_experiment_pair(
     shard_size: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     shard_timeout: Optional[float] = None,
+    decision_backend: str = "object",
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """Run the SURF and Internet2 experiments with shared probe seeds,
     as the paper did one week apart — as two campaign cells.
@@ -453,6 +454,7 @@ def run_experiment_pair(
         ExperimentSpec(
             experiment=experiment, seed=seed, pps=pps, workers=workers,
             shard_size=shard_size, shard_timeout=shard_timeout,
+            decision_backend=decision_backend,
         )
         for experiment in ("surf", "internet2")
     ]
@@ -493,6 +495,7 @@ def plan_grid(
     shard_timeout: Optional[float] = None,
     fault_spec: str = "",
     provenance_capacity: Optional[int] = None,
+    decision_backend: str = "object",
 ) -> List[ExperimentSpec]:
     """The (seed × scenario × experiment) grid, in deterministic
     seed-major order.  Unknown scenario names fail here, before any
@@ -504,6 +507,7 @@ def plan_grid(
             shard_size=shard_size, shard_timeout=shard_timeout,
             fault_spec=fault_spec,
             provenance_capacity=provenance_capacity,
+            decision_backend=decision_backend,
         )
         for seed in seeds
         for scenario in scenarios

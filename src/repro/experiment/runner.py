@@ -23,6 +23,11 @@ import random
 import warnings
 from typing import Dict, Optional, Tuple
 
+from ..bgp.arraytable import (
+    active_decision_backend,
+    use_decision_backend,
+    validate_backend,
+)
 from ..bgp.engine import PropagationEngine, UpdateEvent
 from ..errors import ExperimentError
 from ..faults import FaultKind, FaultPlan
@@ -59,6 +64,7 @@ class ExperimentRunner:
         seed_plan: Optional[SeedPlan] = None,
         pps: int = 100,
         fault_plan: Optional[FaultPlan] = None,
+        decision_backend: Optional[str] = None,
     ) -> None:
         if experiment not in ("surf", "internet2"):
             raise ExperimentError("experiment must be 'surf' or 'internet2'")
@@ -75,6 +81,15 @@ class ExperimentRunner:
         #: are shard executions to attack, so they take effect in
         #: :class:`~repro.experiment.parallel.ShardedRunner`.
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        #: Route-selection backend ("object"/"array", see
+        #: :mod:`repro.bgp.arraytable`) the run executes under; None
+        #: defers to whatever ``use_decision_backend`` context is
+        #: active when :meth:`run` is called.  Never changes results.
+        self.decision_backend = (
+            validate_backend(decision_backend)
+            if decision_backend is not None
+            else None
+        )
         self._degradations: list = []
         #: Optional progress callback (``hook(**fields)``) fired as the
         #: run advances — campaign heartbeats hang off it.  Strictly
@@ -96,6 +111,17 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
+        """Run the experiment under the runner's decision backend.
+
+        The backend context wraps the whole run so every engine and
+        fastpath call inside — including ones deep in analysis helpers
+        — selects through the same implementation.
+        """
+        backend = self.decision_backend or active_decision_backend()
+        with use_decision_backend(backend):
+            return self._run_impl()
+
+    def _run_impl(self) -> ExperimentResult:
         ecosystem = self.ecosystem
         schedule = self.schedule
         if self.seed_plan is None:

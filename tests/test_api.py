@@ -134,15 +134,16 @@ def test_config_overrides_normalised():
 def test_digest_stability():
     """Pinned digests: a drift here breaks every existing campaign
     checkpoint directory, so it must be deliberate (bump
-    SPEC_SCHEMA_VERSION and say so in CHANGES.md)."""
-    assert ExperimentSpec().digest() == "91063eedc822296b"
+    SPEC_SCHEMA_VERSION and say so in CHANGES.md).  Re-pinned for
+    schema 2 (the ``decision_backend`` field)."""
+    assert ExperimentSpec().digest() == "b155b57f1f372582"
     assert ExperimentSpec(
         experiment="surf", seed=3, scale=0.05
-    ).digest() == "59c90ae203af85a0"
+    ).digest() == "f92226993894713b"
     assert ExperimentSpec(
         experiment="internet2", seed=7, scenario="re-dominant",
         config_overrides={"no_commodity_rate": 0.5},
-    ).digest() == "e5f8e993ed18cd20"
+    ).digest() == "a34ca746645d041c"
 
 
 def test_digest_changes_with_simulation_fields():
@@ -153,6 +154,14 @@ def test_digest_changes_with_simulation_fields():
     # Execution fields are part of the spec (they describe *how* to
     # run), so they key distinct checkpoints too — never colliding.
     assert base.replace(workers=2).digest() != base.digest()
+    # The decision backend never changes results, but it keys its own
+    # checkpoints so a backend comparison never resumes into itself.
+    assert base.replace(decision_backend="array").digest() != base.digest()
+
+
+def test_spec_rejects_unknown_decision_backend():
+    with pytest.raises(ExperimentError, match="decision_backend"):
+        ExperimentSpec(decision_backend="simd")
 
 
 def test_from_dict_rejects_unknown_fields_and_schemas():

@@ -1,0 +1,229 @@
+"""Property-based equivalence of the array decision backend.
+
+Hypothesis generates random route tables — equal-localpref ties,
+missing MEDs, unknown neighbor ASNs, every decision-process variant —
+and the array backend must match the object oracle
+(:meth:`DecisionProcess.best` / :meth:`best_verbose`) on the winner,
+the winning step, *and* the surviving candidate set at every decision
+step boundary.  Both array implementations are pinned: the incremental
+:class:`ArrayRibGroup` the engine/fastpath hot paths use, and the
+batch :class:`ArrayRouteTable` (numpy-accelerated when available and
+pure-python, which must agree with each other too).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.arraytable import (
+    NEIGHBOR_NONE,
+    ArrayRibGroup,
+    ArrayRouteTable,
+    active_decision_backend,
+    encode_neighbor,
+    key_encoder,
+    use_decision_backend,
+)
+from repro.bgp.attributes import ASPath, Route
+from repro.bgp.decision import DecisionProcess
+from repro.errors import PolicyError
+from repro.netutil import Prefix
+
+PFX = Prefix.parse("192.0.2.0/24")
+
+#: All four step signatures DecisionProcess.standard can produce.
+VARIANTS = [
+    DecisionProcess.standard(path_length_sensitive=p, age_tiebreak=a)
+    for p in (True, False)
+    for a in (True, False)
+]
+
+
+@st.composite
+def route_table(draw):
+    """A plausible adj-RIB-in for one prefix: unique neighbor keys, at
+    most one local (learned_from=None) route, and heavily colliding
+    attribute values so ties reach the late decision steps."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    neighbors = draw(st.lists(
+        st.integers(min_value=1, max_value=30),
+        min_size=n, max_size=n, unique=True,
+    ))
+    include_local = draw(st.booleans())
+    routes = []
+    for i, neighbor in enumerate(neighbors):
+        local = include_local and i == 0
+        path_len = draw(st.integers(min_value=1, max_value=4))
+        routes.append(Route(
+            prefix=PFX,
+            path=ASPath(tuple(range(100, 100 + path_len))),
+            learned_from=None if local else neighbor,
+            # Few distinct values => frequent ties at every step.
+            localpref=draw(st.sampled_from([100, 100, 100, 200])),
+            med=draw(st.sampled_from([0, 0, 5])),  # 0 = missing MED
+            installed_at=float(draw(st.sampled_from([0, 1, 2]))),
+        ))
+    return routes
+
+
+def _oracle(process, routes):
+    """(winner, winning_step, boundaries) or a PolicyError marker."""
+    try:
+        winner, steps = process.best_verbose(routes)
+    except PolicyError:
+        return "tie"
+    return (
+        winner,
+        steps[-1]["step"] if steps else None,
+        [(s["step"], s["entering"], s["survivors"]) for s in steps],
+    )
+
+
+@settings(max_examples=400, deadline=None)
+@given(routes=route_table(), variant=st.integers(min_value=0, max_value=3))
+def test_array_matches_oracle_at_every_step_boundary(routes, variant):
+    process = VARIANTS[variant]
+    expected = _oracle(process, routes)
+
+    # Incremental group (the engine/fastpath hot path).
+    group = ArrayRibGroup(process.steps)
+    for route in routes:
+        group.set(
+            route.learned_from if route.learned_from is not None else -1,
+            route,
+        )
+    if expected == "tie":
+        with pytest.raises(PolicyError):
+            group.best()
+    else:
+        assert group.best() is expected[0]
+
+    # Batch table: winner, winning step, and per-boundary survivors.
+    table = ArrayRouteTable()
+    table.add_group(PFX, routes, process.steps)
+    if expected == "tie":
+        with pytest.raises(PolicyError):
+            table.select_best()
+        with pytest.raises(PolicyError):
+            table.select_best_verbose()
+        return
+    winner, winning_step, boundaries = expected
+    assert table.select_best()[0] is winner
+    selection = table.select_best_verbose()[0]
+    assert selection.winner is winner
+    assert selection.winner_index == routes.index(winner)
+    assert selection.winning_step == winning_step
+    assert [
+        (s["step"], s["entering"], s["survivors"]) for s in selection.steps
+    ] == boundaries
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tables=st.lists(
+        st.tuples(route_table(), st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=8,
+    ),
+)
+def test_batch_numpy_and_pure_paths_agree(tables):
+    """Multi-group shards: the numpy masked-reduceat path and the
+    pure-python fused-key path return identical winners (and both
+    equal the oracle)."""
+    table = ArrayRouteTable()
+    expected = []
+    for i, (routes, variant) in enumerate(tables):
+        process = VARIANTS[variant]
+        try:
+            winner = process.best(routes)
+        except PolicyError:
+            continue  # covered by the single-group property above
+        table.add_group(i, routes, process.steps)
+        expected.append(winner)
+    if not len(table):
+        return
+    default_winners = table.select_best()
+    os.environ["REPRO_PURE_ARRAY"] = "1"
+    try:
+        pure_winners = table.select_best()
+    finally:
+        del os.environ["REPRO_PURE_ARRAY"]
+    assert len(default_winners) == len(pure_winners) == len(expected)
+    for got_default, got_pure, want in zip(
+        default_winners, pure_winners, expected
+    ):
+        assert got_default is want
+        assert got_pure is want
+
+
+# ---------------------------------------------------------------------
+# None-sentinel regression (the _lowest_neighbor_asn fix, array side)
+
+
+def _route(learned_from, **overrides):
+    fields = dict(
+        prefix=PFX, path=ASPath((100, 200)), learned_from=learned_from,
+        localpref=100, med=0, installed_at=0.0,
+    )
+    fields.update(overrides)
+    return Route(**fields)
+
+
+def test_unknown_neighbor_encodes_as_inf_not_zero():
+    assert encode_neighbor(None) == NEIGHBOR_NONE == float("inf")
+    assert encode_neighbor(7) == 7
+
+
+def test_unknown_neighbor_loses_final_tiebreak():
+    """A learned_from=None route ties every step down to the neighbor
+    ASN; encoded as +inf it must lose — a 0 encoding would beat every
+    real neighbor and silently flip the winner vs the oracle."""
+    known = _route(learned_from=9)
+    unknown = _route(learned_from=None)
+    for process in VARIANTS:
+        assert process.best([unknown, known]) is known  # the oracle
+        group = ArrayRibGroup(process.steps)
+        group.set(-1, unknown)
+        group.set(9, known)
+        assert group.best() is known
+        table = ArrayRouteTable()
+        table.add_group(PFX, [unknown, known], process.steps)
+        assert table.select_best()[0] is known
+        assert table.select_best_verbose()[0].winning_step == (
+            "lowest-neighbor-asn"
+        )
+        key = key_encoder(process.steps)
+        assert key(unknown)[-1] == float("inf")
+
+
+def test_incremental_group_tracks_mutations():
+    process = VARIANTS[0]
+    group = ArrayRibGroup(process.steps)
+    assert group.best() is None
+    first = _route(learned_from=5)
+    second = _route(learned_from=3)
+    group.set(5, first)
+    group.set(3, second)
+    assert group.best() is second  # lower neighbor ASN wins the tie
+    group.remove(3)
+    assert group.best() is first
+    replacement = _route(learned_from=5, localpref=200)
+    group.set(5, replacement)
+    assert len(group) == 1
+    assert group.best() is replacement
+    group.remove(5)
+    group.remove(5)  # absent keys are a no-op
+    assert group.best() is None
+
+
+def test_use_decision_backend_context_nests_and_validates():
+    assert active_decision_backend() == "object"
+    with use_decision_backend("array"):
+        assert active_decision_backend() == "array"
+        with use_decision_backend("object"):
+            assert active_decision_backend() == "object"
+        assert active_decision_backend() == "array"
+    assert active_decision_backend() == "object"
+    with pytest.raises(PolicyError, match="decision backend"):
+        with use_decision_backend("simd"):
+            pass

@@ -340,6 +340,115 @@ class TestEnvironmentFaultDifferential:
             [_round_key(r) for r in baseline.rounds]
 
 
+@pytest.fixture(scope="module")
+def backend_case():
+    """The backend-differential grid: the object-backend serial run
+    next to array-backend runs at workers 1, 2 and 4 (serial runner
+    plus sharded at every count), all with provenance."""
+    seed, scale = GRID[0]
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    serial, serial_jsonl = _run_with_provenance(
+        ExperimentRunner(ecosystem, "surf", seed=seed,
+                         decision_backend="object")
+    )
+    variants = {}
+    provenance = {"object serial": serial_jsonl}
+    array_runners = {
+        "array serial": ExperimentRunner(
+            ecosystem, "surf", seed=seed, decision_backend="array"
+        ),
+    }
+    for workers in (1, 2, 4):
+        array_runners["array workers=%d" % workers] = ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=workers,
+            decision_backend="array",
+        )
+    for label, runner in array_runners.items():
+        variants[label], provenance[label] = _run_with_provenance(runner)
+    return ecosystem, serial, variants, provenance
+
+
+class TestDecisionBackendDifferential:
+    """Object vs array decision backend, workers ∈ {1, 2, 4}, across
+    all nine prepend configurations: classifications, report text,
+    provenance JSONL and convergence ``replay_key()``s must be
+    byte-identical.  The array path is a pure selection-strategy swap;
+    any divergence here is a correctness bug, never a tolerance."""
+
+    def test_grid_covers_all_nine_configs(self, backend_case):
+        _, serial, variants, _ = backend_case
+        assert len(serial.rounds) == 9
+        configs = [r.config for r in serial.rounds]
+        assert len(set(configs)) == 9
+        for label, result in variants.items():
+            assert [r.config for r in result.rounds] == configs, label
+
+    def test_rounds_identical(self, backend_case):
+        _, serial, variants, _ = backend_case
+        expected = [_round_key(r) for r in serial.rounds]
+        for label, result in variants.items():
+            assert [_round_key(r) for r in result.rounds] == expected, label
+
+    def test_replay_keys_identical(self, backend_case):
+        _, serial, variants, _ = backend_case
+        expected = [
+            [stats.replay_key() for stats in round_stats]
+            for round_stats in serial.round_convergence
+        ]
+        for label, result in variants.items():
+            got = [
+                [stats.replay_key() for stats in round_stats]
+                for round_stats in result.round_convergence
+            ]
+            assert got == expected, label
+
+    def test_update_log_and_feeders_identical(self, backend_case):
+        _, serial, variants, _ = backend_case
+        for label, result in variants.items():
+            assert result.update_log == serial.update_log, label
+            assert result.feeder_views == serial.feeder_views, label
+
+    def test_classifications_identical(self, backend_case):
+        ecosystem, serial, variants, _ = backend_case
+        origins = origin_map(ecosystem)
+        expected = {
+            prefix: inference.category
+            for prefix, inference in
+            classify_experiment(serial, origins).inferences.items()
+        }
+        for label, result in variants.items():
+            got = {
+                prefix: inference.category
+                for prefix, inference in
+                classify_experiment(result, origins).inferences.items()
+            }
+            assert got == expected, label
+
+    def test_provenance_byte_identical(self, backend_case):
+        _, _, _, provenance = backend_case
+        serial_jsonl = provenance["object serial"]
+        assert serial_jsonl, "object run emitted no provenance"
+        for label, jsonl in provenance.items():
+            if label == "object serial":
+                continue
+            assert jsonl == serial_jsonl, (
+                "%s provenance diverged from the object backend" % label
+            )
+
+    def test_report_text_identical(self, backend_case):
+        ecosystem, _, _, _ = backend_case
+        seed, _ = GRID[0]
+        object_text = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=1,
+            decision_backend="object",
+        ).render()
+        array_text = reproduce_paper(
+            ecosystem=ecosystem, seed=seed, workers=WORKERS,
+            decision_backend="array",
+        ).render()
+        assert array_text == object_text
+
+
 class TestFastpathOracle:
     """The Bellman-Ford fastpath (which shard workers' snapshots are
     built from, via the converged RIB) against the event-driven engine,
