@@ -68,8 +68,9 @@ __all__ = [
 #: Bumped whenever a spec field is added/renamed/re-interpreted, so a
 #: campaign checkpoint written by an older schema never silently
 #: matches a newer spec's digest.  Version 2 added
-#: ``decision_backend``.
-SPEC_SCHEMA_VERSION = 2
+#: ``decision_backend``; version 3 added ``frontier_capacity`` and
+#: ``profile`` (convergence-frontier analytics / phase profiling).
+SPEC_SCHEMA_VERSION = 3
 
 _EXPERIMENTS = ("surf", "internet2")
 
@@ -137,6 +138,16 @@ class ExperimentSpec:
     fault_spec: str = ""
     provenance_capacity: Optional[int] = None
     provenance_prefixes: Tuple[str, ...] = field(default=())
+    #: Capacity of the run-local :class:`~repro.obs.frontier
+    #: .FrontierTrace` to install (None: no frontier capture).  The
+    #: captured event stream is deterministic — inside the identity
+    #: contract — but capturing is opt-in, so the field lives with the
+    #: other observability options.
+    frontier_capacity: Optional[int] = None
+    #: Install a run-local :class:`~repro.obs.profile.PhaseProfiler`
+    #: and attach its payload as ``result.profile``.  Execution
+    #: metadata only (timings), outside the identity contract.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         # Normalise sequence-ish inputs so from_json(to_json(s)) == s.
@@ -179,6 +190,11 @@ class ExperimentSpec:
             and self.provenance_capacity < 1
         ):
             raise ExperimentError("provenance_capacity must be >= 1")
+        if (
+            self.frontier_capacity is not None
+            and self.frontier_capacity < 1
+        ):
+            raise ExperimentError("frontier_capacity must be >= 1")
         # Fail on malformed spec text / unknown scenario / unknown
         # config field now, not at run time inside a pool worker.
         if self.fault_spec:
@@ -233,6 +249,14 @@ class ExperimentSpec:
             self.provenance_capacity is not None
             or bool(self.provenance_prefixes)
         )
+
+    @property
+    def wants_frontier(self) -> bool:
+        return self.frontier_capacity is not None
+
+    @property
+    def wants_profile(self) -> bool:
+        return self.profile
 
     # -- serialisation -------------------------------------------------
 
@@ -380,7 +404,11 @@ def run_experiment(
     local recorder is installed for the run and its event stream is
     attached as ``result.provenance_events``; an already-active
     recorder (e.g. the CLI's) is left in place and keeps receiving
-    events as usual.
+    events as usual.  ``frontier_capacity`` and ``profile`` work the
+    same way: a run-local :class:`~repro.obs.frontier.FrontierTrace` /
+    :class:`~repro.obs.profile.PhaseProfiler` is installed only when
+    none is active, and its output lands on
+    ``result.frontier_events`` / ``result.profile``.
 
     *progress_hook*, when given, is called with keyword fields
     (``phase``, ``rounds_completed``, ``shards_completed``, ...) as
@@ -388,19 +416,34 @@ def run_experiment(
     and status consoles hang off.  Strictly observational; it never
     changes results.
     """
+    from contextlib import ExitStack
+
+    from .obs.frontier import FrontierTrace, active_frontier, use_frontier
+    from .obs.profile import PhaseProfiler, active_profiler, use_profiling
     from .obs.provenance import active_recorder
 
     runner = build_runner(spec, ecosystem, seed_plan, workers=workers)
     if progress_hook is not None:
         runner.progress_hook = progress_hook
-    if spec.wants_provenance and active_recorder() is None:
-        recorder = ProvenanceRecorder(
-            capacity=spec.provenance_capacity or DEFAULT_CAPACITY,
-            prefix_filter=spec.provenance_prefixes or None,
-        )
-        with use_provenance(recorder):
-            result = runner.run()
-        result.provenance_events = recorder.events()
-    else:
+    recorder = trace = profiler = None
+    with ExitStack() as stack:
+        if spec.wants_provenance and active_recorder() is None:
+            recorder = ProvenanceRecorder(
+                capacity=spec.provenance_capacity or DEFAULT_CAPACITY,
+                prefix_filter=spec.provenance_prefixes or None,
+            )
+            stack.enter_context(use_provenance(recorder))
+        if spec.wants_frontier and active_frontier() is None:
+            trace = FrontierTrace(capacity=spec.frontier_capacity)
+            stack.enter_context(use_frontier(trace))
+        if spec.wants_profile and active_profiler() is None:
+            profiler = PhaseProfiler()
+            stack.enter_context(use_profiling(profiler))
         result = runner.run()
+    if recorder is not None:
+        result.provenance_events = recorder.events()
+    if trace is not None:
+        result.frontier_events = trace.events()
+    if profiler is not None:
+        result.profile = profiler.as_payload()
     return result

@@ -13,12 +13,14 @@ for bulk converged-state computation where churn does not matter.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import EngineError
 from ..netutil import Prefix
 from ..obs import get_logger, get_registry, span
+from ..obs.frontier import EngineRunFrontier, active_frontier
 from ..rng import SeedTree
 from ..topology.graph import Topology
 from .arraytable import active_decision_backend
@@ -183,6 +185,12 @@ class PropagationEngine:
         self.last_stats: Optional[ConvergenceStats] = None
         self._messages_sent = 0
         self._messages_sent_flushed = 0
+        # Frontier bookkeeping: per-engine run counter, so run ids are
+        # identical however cells/shards are scheduled.  Causality
+        # depths live in run-local interval lists inside
+        # run_to_fixpoint, only populated while a FrontierTrace is
+        # active.
+        self._frontier_runs = 0
 
     # ----- public control ------------------------------------------------
 
@@ -283,6 +291,29 @@ class PropagationEngine:
         changes = 0
         peak_depth = len(self._heap)
         sent_before = self._messages_sent
+        # One call returning None per run is the entire disabled-state
+        # frontier cost; enabled, the loop tracks the changed-prefix
+        # frontier and message causality depth per window.
+        trace_ring = active_frontier()
+        acc = None
+        if trace_ring is not None:
+            acc = EngineRunFrontier(trace_ring, self._frontier_runs)
+            self._frontier_runs += 1
+        # Window accounting stays in plain locals; the accumulator is
+        # only called once per window (see EngineRunFrontier.add_window).
+        window_size = EngineRunFrontier.window_size
+        win_count = 0
+        win_changed = 0
+        win_frontier: set = set()
+        win_peak_depth = 0
+        win_peak_causal = 0
+        # Causality depths as seq intervals: messages triggered by one
+        # delivery get consecutive seqs, so each change appends one
+        # (start, end, depth) triple instead of a dict entry per sent
+        # message; deliveries look their seq up with one bisect.
+        causal_starts: List[int] = []
+        causal_ends: List[int] = []
+        causal_depths: List[int] = []
         with span("engine.run_to_fixpoint") as trace:
             while self._heap:
                 depth = len(self._heap)
@@ -320,12 +351,61 @@ class PropagationEngine:
                     now=self.now,
                     tag=message.tag,
                 )
-                if change.changed:
-                    changes += 1
-                    self._record_change(
-                        message.receiver, message.prefix, change.new
+                if acc is None:
+                    if change.changed:
+                        changes += 1
+                        self._record_change(
+                            message.receiver, message.prefix, change.new
+                        )
+                        self._export_after_change(
+                            message.receiver, message.prefix
+                        )
+                else:
+                    seq = message.seq
+                    index = bisect_right(causal_starts, seq)
+                    causal = (
+                        causal_depths[index - 1]
+                        if index and seq <= causal_ends[index - 1]
+                        else 0
                     )
-                    self._export_after_change(message.receiver, message.prefix)
+                    win_count += 1
+                    if depth > win_peak_depth:
+                        win_peak_depth = depth
+                    if causal > win_peak_causal:
+                        win_peak_causal = causal
+                    if change.changed:
+                        changes += 1
+                        seq_before = self._seq
+                        self._record_change(
+                            message.receiver, message.prefix, change.new
+                        )
+                        self._export_after_change(
+                            message.receiver, message.prefix
+                        )
+                        win_changed += 1
+                        win_frontier.add(message.prefix)
+                        if self._seq > seq_before:
+                            # Messages this delivery just triggered sit
+                            # one causality step deeper.
+                            causal_starts.append(seq_before + 1)
+                            causal_ends.append(self._seq)
+                            causal_depths.append(causal + 1)
+                    if win_count >= window_size:
+                        acc.add_window(
+                            win_count, win_changed, win_frontier,
+                            win_peak_depth, win_peak_causal,
+                        )
+                        win_count = 0
+                        win_changed = 0
+                        win_frontier = set()
+                        win_peak_depth = 0
+                        win_peak_causal = 0
+        if acc is not None:
+            acc.add_window(
+                win_count, win_changed, win_frontier,
+                win_peak_depth, win_peak_causal,
+            )
+            acc.finish()
         stats.messages_delivered = delivered
         stats.messages_dropped = dropped
         stats.best_changes = changes

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from ..errors import EngineError
 from ..netutil import Prefix
 from ..obs import get_logger, get_registry, span
+from ..obs.frontier import FastpathRunFrontier, active_frontier
 from ..obs.provenance import active_recorder, selection_event
 from ..topology.graph import Topology
 from .arraytable import ArrayRibGroup, active_decision_backend, validate_backend
@@ -131,6 +132,16 @@ def propagate_fastpath(
     max_rounds = max(1, len(topology)) * _MAX_ROUNDS_FACTOR
     iterations = 0
     cursor = 0
+    # One call returning None per propagation is the entire
+    # disabled-state frontier cost; the run id derives from the trace's
+    # recorded-event count, which the byte-identity contract keeps
+    # equal across execution modes.
+    trace_ring = active_frontier()
+    acc = None
+    if trace_ring is not None:
+        acc = FastpathRunFrontier(
+            trace_ring, trace_ring.total_recorded, the_prefix
+        )
     with span("fastpath.propagate"):
         while cursor < len(pending):
             asn = pending[cursor]
@@ -151,12 +162,19 @@ def propagate_fastpath(
                 )
                 if changed:
                     enqueue(neighbor)
+                if acc is not None:
+                    acc.note(
+                        neighbor if changed else None,
+                        len(pending) - cursor,
+                    )
             if cursor > len(topology) * _MAX_ROUNDS_FACTOR:
                 # Compact the queue so memory stays bounded on big runs.
                 pending = pending[cursor:]
                 cursor = 0
                 compactions += 1
 
+    if acc is not None:
+        acc.finish()
     registry = get_registry()
     registry.counter("fastpath.prefixes_computed").inc()
     registry.counter("fastpath.iterations").inc(iterations)

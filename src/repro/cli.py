@@ -22,14 +22,19 @@
   :mod:`repro.experiment.status`);
 - ``bench-diff`` — compare the latest benchmark runs against the
   recorded ``BENCH_HISTORY.jsonl`` trajectory and exit non-zero on a
-  wall-time regression (see :mod:`repro.obs.benchtrack`).
+  wall-time regression (see :mod:`repro.obs.benchtrack`; ``--json``
+  emits the machine-readable diff);
+- ``profile`` — render the hotspot tables of a ``--profile-out``
+  artifact (or a campaign's per-cell profile directory — see
+  :mod:`repro.obs.profile`).
 
 ``reproduce``, ``explain``, and ``sweep`` share identical common
 options via argparse parent parsers: the run options
 (``--seed/--workers/--shard-size/--fault-plan/--shard-timeout``) and
 the observability options (``--log-level/--log-json/--metrics-out/
 --metrics-format/--telemetry-out/--telemetry-interval/
---provenance-out/--provenance-capacity/--trace-out``).
+--provenance-out/--provenance-capacity/--trace-out/--frontier-out/
+--frontier-capacity/--profile-out``).
 """
 
 from __future__ import annotations
@@ -54,6 +59,12 @@ from .errors import AnalysisError, ExperimentError, ReproError
 from .experiment.status import DEFAULT_STALE_AFTER_SECONDS
 from .obs import configure_logging, get_registry
 from .obs.benchtrack import DEFAULT_THRESHOLD_PCT
+from .obs.frontier import (
+    DEFAULT_FRONTIER_CAPACITY,
+    disable_frontier,
+    enable_frontier,
+)
+from .obs.profile import disable_profiling, enable_profiling
 from .obs.telemetry import DEFAULT_INTERVAL_SECONDS, TelemetrySampler
 from .obs.provenance import (
     DEFAULT_CAPACITY,
@@ -155,6 +166,24 @@ def _obs_options() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE.json",
         help="write the run's span tree as Chrome trace-event JSON "
              "(loadable in chrome://tracing or Perfetto)",
+    )
+    parent.add_argument(
+        "--frontier-out", metavar="FILE.jsonl",
+        help="record convergence-frontier analytics (per-window "
+             "frontier sizes, quiescence curves, per-round signal "
+             "diffs) and write them as JSON lines after the run; "
+             "output is byte-identical at every worker count",
+    )
+    parent.add_argument(
+        "--frontier-capacity", type=int, default=None, metavar="N",
+        help="frontier ring-buffer capacity in events (default: %d; "
+             "oldest events drop first)" % DEFAULT_FRONTIER_CAPACITY,
+    )
+    parent.add_argument(
+        "--profile-out", metavar="FILE.json",
+        help="profile the run's phases with cProfile and write the "
+             "hotspot payload (plus a binary FILE.json.pstats twin); "
+             "render it later with 'repro profile FILE.json'",
     )
     return parent
 
@@ -306,6 +335,27 @@ def _build_parser() -> argparse.ArgumentParser:
              "baseline median fails (default: %.0f)"
              % DEFAULT_THRESHOLD_PCT,
     )
+    bench_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the diff as one JSON document instead of the "
+             "fixed-width table (same exit codes)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="render the hotspot tables of a --profile-out artifact "
+             "(or a directory of campaign per-cell profiles)",
+    )
+    profile.add_argument(
+        "artifact", metavar="PATH",
+        help="a profile JSON file written by --profile-out, or a "
+             "directory (e.g. a campaign's cells/) whose *.json "
+             "profile payloads are merged",
+    )
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="rows per hotspot table (default: the artifact's top_n)",
+    )
     return parser
 
 
@@ -335,6 +385,8 @@ def _validate_run_args(args) -> Optional[str]:
         return "--provenance-capacity must be >= 1"
     if args.telemetry_interval is not None and args.telemetry_interval <= 0:
         return "--telemetry-interval must be positive"
+    if args.frontier_capacity is not None and args.frontier_capacity < 1:
+        return "--frontier-capacity must be >= 1"
     return None
 
 
@@ -403,6 +455,50 @@ def _export_recorder(recorder, path: str) -> None:
     print("wrote %d provenance events to %s%s" % (count, path, suffix))
 
 
+def _enable_frontier(args):
+    """Install the process-wide frontier trace when ``--frontier-out``
+    was given (returns ``None`` otherwise)."""
+    if not args.frontier_out:
+        return None
+    return enable_frontier(
+        capacity=args.frontier_capacity or DEFAULT_FRONTIER_CAPACITY
+    )
+
+
+def _export_frontier(trace, path: str) -> None:
+    # Stdout, like provenance: the event stream — and therefore the
+    # count — is inside the byte-identity contract, so this line is
+    # identical at every worker count and decision backend.
+    count = trace.export_jsonl_file(path)
+    suffix = (
+        " (%d older events dropped by the ring)" % trace.dropped
+        if trace.dropped else ""
+    )
+    print("wrote %d frontier events to %s%s" % (count, path, suffix))
+
+
+def _enable_profile(args):
+    """Install the process-wide phase profiler when ``--profile-out``
+    was given (returns ``None`` otherwise)."""
+    if not args.profile_out:
+        return None
+    return enable_profiling()
+
+
+def _export_profile(profiler, path: str) -> None:
+    from .obs.profile import export_profile
+
+    payload = export_profile(profiler, path)
+    # Stderr, like telemetry: profile contents are timings — execution
+    # metadata — so stdout stays byte-identical with and without
+    # --profile-out.
+    print(
+        "wrote phase profile (%d phases) to %s"
+        % (len(payload.get("phases", {})), path),
+        file=sys.stderr,
+    )
+
+
 def _build_spec(args, experiment: str = "surf") -> ExperimentSpec:
     """The shared CLI args as an :class:`ExperimentSpec` (validates
     the fault spec and scenario/scale in one place)."""
@@ -422,7 +518,8 @@ def _cmd_reproduce(args) -> int:
     _configure_obs(args)
     problem = _check_output_paths(
         args.metrics_out, args.provenance_out, args.trace_out,
-        args.degradations_out, args.telemetry_out,
+        args.degradations_out, args.telemetry_out, args.frontier_out,
+        args.profile_out,
     ) or _validate_run_args(args)
     if problem:
         print(problem, file=sys.stderr)
@@ -438,6 +535,8 @@ def _cmd_reproduce(args) -> int:
         recorder = enable_provenance(
             capacity=args.provenance_capacity or DEFAULT_CAPACITY
         )
+    frontier = _enable_frontier(args)
+    profiler = _enable_profile(args)
     sampler = _start_telemetry(args)
     try:
         report = reproduce_paper(
@@ -449,6 +548,10 @@ def _cmd_reproduce(args) -> int:
     finally:
         if recorder is not None:
             disable_provenance()
+        if frontier is not None:
+            disable_frontier()
+        if profiler is not None:
+            disable_profiling()
         _stop_telemetry(sampler)
     print(report.render())
     if args.figures:
@@ -484,6 +587,10 @@ def _cmd_reproduce(args) -> int:
     _write_metrics(args)
     if recorder is not None:
         _export_recorder(recorder, args.provenance_out)
+    if frontier is not None:
+        _export_frontier(frontier, args.frontier_out)
+    if profiler is not None:
+        _export_profile(profiler, args.profile_out)
     _write_trace(args)
     degradations = [
         record.as_dict()
@@ -553,7 +660,7 @@ def _cmd_sweep(args) -> int:
     _configure_obs(args)
     problem = _check_output_paths(
         args.metrics_out, args.provenance_out, args.trace_out,
-        args.telemetry_out,
+        args.telemetry_out, args.frontier_out, args.profile_out,
     ) or _validate_run_args(args)
     if not problem and args.campaign_workers < 1:
         problem = "--campaign-workers must be >= 1"
@@ -590,6 +697,8 @@ def _cmd_sweep(args) -> int:
         recorder = enable_provenance(
             capacity=args.provenance_capacity or DEFAULT_CAPACITY
         )
+    frontier = _enable_frontier(args)
+    profiler = _enable_profile(args)
     runner = CampaignRunner(
         specs, args.campaign_dir,
         pool_workers=args.campaign_workers,
@@ -604,6 +713,10 @@ def _cmd_sweep(args) -> int:
     finally:
         if recorder is not None:
             disable_provenance()
+        if frontier is not None:
+            disable_frontier()
+        if profiler is not None:
+            disable_profiling()
         _stop_telemetry(sampler)
     print(result.summary.render())
     print()
@@ -618,6 +731,10 @@ def _cmd_sweep(args) -> int:
     _write_metrics(args)
     if recorder is not None:
         _export_recorder(recorder, args.provenance_out)
+    if frontier is not None:
+        _export_frontier(frontier, args.frontier_out)
+    if profiler is not None:
+        _export_profile(profiler, args.profile_out)
     _write_trace(args)
     return 0
 
@@ -628,7 +745,7 @@ def _cmd_explain(args) -> int:
     _configure_obs(args)
     problem = _check_output_paths(
         args.metrics_out, args.provenance_out, args.trace_out,
-        args.telemetry_out,
+        args.telemetry_out, args.frontier_out, args.profile_out,
     ) or _validate_run_args(args)
     if problem:
         print(problem, file=sys.stderr)
@@ -646,6 +763,8 @@ def _cmd_explain(args) -> int:
     except ReproError as error:
         print(str(error), file=sys.stderr)
         return 2
+    frontier = _enable_frontier(args)
+    profiler = _enable_profile(args)
     sampler = _start_telemetry(args)
     try:
         narrative = explain_prefix(
@@ -671,11 +790,19 @@ def _cmd_explain(args) -> int:
         print(str(error), file=sys.stderr)
         return 2
     finally:
+        if frontier is not None:
+            disable_frontier()
+        if profiler is not None:
+            disable_profiling()
         _stop_telemetry(sampler)
     print(narrative)
     _write_metrics(args)
     if recorder is not None:
         _export_recorder(recorder, args.provenance_out)
+    if frontier is not None:
+        _export_frontier(frontier, args.frontier_out)
+    if profiler is not None:
+        _export_profile(profiler, args.profile_out)
     _write_trace(args)
     return 0
 
@@ -796,8 +923,29 @@ def _cmd_bench_diff(args) -> int:
         print("benchmark history %s is empty" % path, file=sys.stderr)
         return 2
     deltas = benchtrack.diff_latest(entries, threshold_pct=args.threshold)
-    print(benchtrack.render_diff(deltas, args.threshold))
+    if args.json:
+        print(benchtrack.render_diff_json(deltas, args.threshold))
+    else:
+        print(benchtrack.render_diff(deltas, args.threshold))
     return 1 if any(delta.regressed for delta in deltas) else 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs.profile import DEFAULT_TOP_N, load_profile, render_profile
+
+    if args.top is not None and args.top < 1:
+        print("--top must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        payload = load_profile(args.artifact)
+    except FileNotFoundError:
+        print("no profile artifact at %s" % args.artifact, file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(render_profile(payload, top=args.top or DEFAULT_TOP_N))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -811,6 +959,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "funnel": _cmd_funnel,
         "status": _cmd_status,
         "bench-diff": _cmd_bench_diff,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

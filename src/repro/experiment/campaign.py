@@ -56,6 +56,18 @@ from ..core.sweep import CampaignSummary, build_campaign_summary
 from ..errors import ExperimentError
 from ..faults import FaultPlan
 from ..obs import MetricsRegistry, get_logger, get_registry, span, use_registry
+from ..obs.frontier import (
+    DEFAULT_FRONTIER_CAPACITY,
+    FrontierTrace,
+    active_frontier,
+    use_frontier,
+)
+from ..obs.profile import (
+    PhaseProfiler,
+    active_profiler,
+    disarm_inherited_profile,
+    use_profiling,
+)
 from ..obs.provenance import (
     DEFAULT_CAPACITY,
     ProvenanceRecorder,
@@ -144,6 +156,19 @@ class CellOutcome:
     #: Events a spec-requested recorder captured (for the per-cell
     #: provenance export, independent of any parent recorder).
     spec_provenance: Optional[List[dict]] = None
+    #: Frontier events for the parent's active trace (pooled mode
+    #: only; merged strictly in cell order, like provenance).
+    parent_frontier: Optional[List[dict]] = None
+    #: Frontier events a spec-requested trace captured (for the
+    #: per-cell ``<digest>.frontier.jsonl`` export).
+    spec_frontier: Optional[List[dict]] = None
+    #: Phase-profile payload for the parent's active profiler (pooled
+    #: mode only; folded with ``merge_payload`` in cell order).
+    parent_profile: Optional[dict] = None
+    #: Payload a spec-requested profiler captured (per-cell
+    #: ``<digest>.profile.json`` artifact and the campaign hotspot
+    #: summary).
+    spec_profile: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -229,6 +254,24 @@ def _run_cell(
     observational — results are identical with or without it)."""
     spec = work.spec
     started = time.perf_counter()
+    # Profiling first: a pooled worker inherits the parent's profiler
+    # singleton (and, if the fork landed inside a profiled phase, a
+    # live cProfile hook) — its presence signals the parent wants
+    # profiles, so disarm the foreign state and stand up a fresh local
+    # profiler whose payload ships back for in-cell-order merging.
+    # Inline cells record straight into the parent profiler.
+    parent_profiler = active_profiler()
+    ship_profile = isolate and parent_profiler is not None
+    if isolate:
+        disarm_inherited_profile()
+    local_profiler: Optional[PhaseProfiler] = None
+    if ship_profile:
+        local_profiler = PhaseProfiler(
+            use_cprofile=parent_profiler.use_cprofile,
+            top_n=parent_profiler.top_n,
+        )
+    elif parent_profiler is None and spec.wants_profile:
+        local_profiler = PhaseProfiler()
     runner = build_runner(
         spec, work.ecosystem, work.seed_plan,
         schedule=work.schedule, fault_plan=work.fault_plan,
@@ -250,16 +293,44 @@ def _run_cell(
             capacity=spec.provenance_capacity or DEFAULT_CAPACITY,
             prefix_filter=spec.provenance_prefixes or None,
         )
-    if local is not None:
-        with use_provenance(local):
-            result = runner.run()
-    else:
+    # Frontier capture mirrors provenance: pooled cells swap the
+    # fork-inherited parent trace for a fresh local one and ship its
+    # events back; inline cells record into the parent trace directly
+    # (no engine-global counters, so the streams merge byte-identically
+    # in cell order either way).
+    parent_trace = active_frontier()
+    ship_frontier = isolate and parent_trace is not None
+    local_trace: Optional[FrontierTrace] = None
+    if ship_frontier:
+        local_trace = FrontierTrace(capacity=parent_trace.capacity)
+    elif parent_trace is None and spec.wants_frontier:
+        local_trace = FrontierTrace(
+            capacity=spec.frontier_capacity or DEFAULT_FRONTIER_CAPACITY
+        )
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if local is not None:
+            stack.enter_context(use_provenance(local))
+        if local_trace is not None:
+            stack.enter_context(use_frontier(local_trace))
+        if local_profiler is not None:
+            stack.enter_context(use_profiling(local_profiler))
         result = runner.run()
     spec_events: Optional[List[dict]] = None
     if local is not None and not ship_to_parent:
         # Same attachment a standalone run_experiment() performs.
         result.provenance_events = local.events()
         spec_events = result.provenance_events
+    spec_frontier: Optional[List[dict]] = None
+    if local_trace is not None and not ship_frontier:
+        result.frontier_events = local_trace.events()
+        spec_frontier = result.frontier_events
+    profile_payload: Optional[dict] = None
+    if local_profiler is not None:
+        profile_payload = local_profiler.as_payload()
+        if not ship_profile:
+            result.profile = profile_payload
     record = None
     if work.build_record:
         record = cell_record(spec, result, runner.ecosystem)
@@ -275,6 +346,12 @@ def _run_cell(
         result=result if work.keep_result else None,
         parent_provenance=local.events() if ship_to_parent else None,
         spec_provenance=spec_events,
+        parent_frontier=(
+            local_trace.events() if ship_frontier else None
+        ),
+        spec_frontier=spec_frontier,
+        parent_profile=profile_payload if ship_profile else None,
+        spec_profile=None if ship_profile else profile_payload,
     )
 
 
@@ -419,6 +496,16 @@ def dispatch_cells(
         for outcome in outcomes:
             if outcome is not None and outcome.parent_provenance:
                 recorder.extend(outcome.parent_provenance)
+    trace = active_frontier()
+    if trace is not None:
+        for outcome in outcomes:
+            if outcome is not None and outcome.parent_frontier:
+                trace.extend(outcome.parent_frontier)
+    profiler = active_profiler()
+    if profiler is not None:
+        for outcome in outcomes:
+            if outcome is not None and outcome.parent_profile:
+                profiler.merge_payload(outcome.parent_profile)
     failures.sort(key=lambda failure: failure.index)
     return outcomes, failures
 
@@ -496,6 +583,8 @@ def plan_grid(
     fault_spec: str = "",
     provenance_capacity: Optional[int] = None,
     decision_backend: str = "object",
+    frontier_capacity: Optional[int] = None,
+    profile: bool = False,
 ) -> List[ExperimentSpec]:
     """The (seed × scenario × experiment) grid, in deterministic
     seed-major order.  Unknown scenario names fail here, before any
@@ -508,6 +597,8 @@ def plan_grid(
             fault_spec=fault_spec,
             provenance_capacity=provenance_capacity,
             decision_backend=decision_backend,
+            frontier_capacity=frontier_capacity,
+            profile=profile,
         )
         for seed in seeds
         for scenario in scenarios
@@ -635,6 +726,70 @@ class CampaignRunner:
                 handle.write("\n")
         os.replace(temp, path)
 
+    def _write_cell_frontier(self, outcome: CellOutcome) -> None:
+        os.makedirs(self.cells_dir, exist_ok=True)
+        path = os.path.join(
+            self.cells_dir, "%s.frontier.jsonl" % outcome.digest
+        )
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            for event in outcome.spec_frontier or ():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        os.replace(temp, path)
+
+    def cell_profile_path(self, digest: str) -> str:
+        return os.path.join(self.cells_dir, "%s.profile.json" % digest)
+
+    @property
+    def campaign_profile_path(self) -> str:
+        return os.path.join(self.directory, "campaign_profile.json")
+
+    def _write_cell_profile(self, outcome: CellOutcome) -> None:
+        os.makedirs(self.cells_dir, exist_ok=True)
+        path = self.cell_profile_path(outcome.digest)
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(
+                outcome.spec_profile, handle, indent=1, sort_keys=True
+            )
+            handle.write("\n")
+        os.replace(temp, path)
+
+    def _write_campaign_profile(self) -> None:
+        """Aggregate every profile-requesting cell's on-disk payload
+        (current run *and* resumed checkpoints) into one campaign-level
+        hotspot summary at ``campaign_profile.json``."""
+        merged = PhaseProfiler(use_cprofile=False)
+        cells = 0
+        for spec in self.specs:
+            if not spec.wants_profile:
+                continue
+            try:
+                with open(
+                    self.cell_profile_path(spec.digest()),
+                    "r", encoding="utf-8",
+                ) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and payload.get("kind") == "phase_profile"
+            ):
+                merged.merge_payload(payload)
+                cells += 1
+        if not cells:
+            return
+        merged.labels["cells"] = str(cells)
+        temp = self.campaign_profile_path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(
+                merged.as_payload(), handle, indent=1, sort_keys=True
+            )
+            handle.write("\n")
+        os.replace(temp, self.campaign_profile_path)
+
     # -- execution -----------------------------------------------------
 
     def run(self) -> CampaignResult:
@@ -687,6 +842,10 @@ class CampaignRunner:
             self._write_checkpoint(outcome.record)
             if outcome.spec_provenance is not None:
                 self._write_cell_provenance(outcome)
+            if outcome.spec_frontier is not None:
+                self._write_cell_frontier(outcome)
+            if outcome.spec_profile is not None:
+                self._write_cell_profile(outcome)
             records[outcome.digest] = outcome.record
             get_registry().histogram(
                 "campaign.cell_wall_seconds"
@@ -730,6 +889,7 @@ class CampaignRunner:
         result.records = {r["digest"]: r for r in ordered}
         result.summary = build_campaign_summary(ordered)
         self._write_summary(result.summary)
+        self._write_campaign_profile()
         _log.info(
             "campaign complete",
             completed=result.completed, skipped=skipped,

@@ -85,6 +85,8 @@ from ..obs import (
     span,
     use_registry,
 )
+from ..obs.frontier import active_frontier
+from ..obs.profile import active_profiler, disarm_inherited_profile
 from ..obs.provenance import (
     active_recorder,
     degradation_event,
@@ -203,7 +205,8 @@ def _probe_shard(
     snapshot: RibSnapshot,
     provenance: Optional[_ProvenanceSpec] = None,
     lossy_prefixes: frozenset = frozenset(),
-) -> "tuple[List[Optional[tuple]], List[dict]]":
+    frontier: bool = False,
+) -> "tuple[List[Optional[tuple]], List[dict], List[tuple]]":
     """Probe one shard's prefixes against the snapshot.
 
     Mirrors :meth:`repro.probing.prober.Prober.probe_round` exactly:
@@ -214,7 +217,9 @@ def _probe_shard(
     (the parent rebuilds :class:`ProbeResponse` objects from them),
     plus the shard's provenance signal events — one per prefix, built
     from the same aggregation the serial prober uses, so the merged
-    stream matches the serial stream exactly.
+    stream matches the serial stream exactly — plus, when *frontier*
+    is set, the shard's ``(prefix, signal)`` frontier rows (same
+    per-prefix aggregation; the parent diffs them round over round).
     """
     origin_set = frozenset(state.interface_kinds)
     interface_kind_of = state.interface_kinds.__getitem__
@@ -222,6 +227,7 @@ def _probe_shard(
     index = spec.start_index
     rows: List[Optional[tuple]] = []
     events: List[dict] = []
+    frontier_rows: List[tuple] = []
 
     def walk(start_asn: int):
         return snapshot.walk(start_asn, origin_set)
@@ -229,7 +235,7 @@ def _probe_shard(
     for prefix in spec.prefixes:
         rng = prefix_stream_rng(spec.round_seed, prefix)
         collect = provenance is not None and provenance.wants(prefix)
-        responses = [] if collect else None
+        responses = [] if collect or frontier else None
         blanked = prefix in lossy_prefixes
         for target in state.targets[prefix]:
             response = probe_one(
@@ -243,11 +249,16 @@ def _probe_shard(
             rows.append(response_row(response))
             index += 1
         if responses is not None:
-            events.append(signal_event(
-                prefix, spec.round_index, spec.config,
-                **round_signal_summary(responses),
-            ))
-    return rows, events
+            summary = round_signal_summary(responses)
+            if collect:
+                events.append(signal_event(
+                    prefix, spec.round_index, spec.config, **summary
+                ))
+            if frontier:
+                frontier_rows.append(
+                    (str(prefix), str(summary["signal"]))
+                )
+    return rows, events, frontier_rows
 
 
 def _run_shard(
@@ -255,6 +266,7 @@ def _run_shard(
     snapshot: RibSnapshot,
     provenance: Optional[_ProvenanceSpec] = None,
     fault: Optional[FaultDirective] = None,
+    frontier: bool = False,
 ) -> ShardOutcome:
     """Worker entry point: probe one shard under isolated obs state.
 
@@ -269,6 +281,10 @@ def _run_shard(
     """
     if _WORKER is None:
         raise ExperimentError("shard worker used before initialisation")
+    # A forked worker inherits the parent's profiler (and possibly a
+    # live cProfile hook from the phase the fork happened inside);
+    # drop both so shard timings are not skewed.  No-op inline.
+    disarm_inherited_profile()
     lossy: frozenset = frozenset()
     if fault is not None:
         if fault.crash:
@@ -284,8 +300,8 @@ def _run_shard(
     started = time.perf_counter()
     with use_registry(registry), detached_trace():
         with span("runner.shard.%d" % spec.shard_id) as record:
-            rows, events = _probe_shard(
-                _WORKER, spec, snapshot, provenance, lossy
+            rows, events, frontier_rows = _probe_shard(
+                _WORKER, spec, snapshot, provenance, lossy, frontier
             )
         registry.counter("parallel.shard_probes").inc(len(rows))
         registry.counter("parallel.shards_completed").inc()
@@ -298,6 +314,7 @@ def _run_shard(
         metrics=registry.snapshot(),
         trace=trace,
         provenance=events,
+        frontier=frontier_rows,
     )
 
 
@@ -399,6 +416,9 @@ class ShardedRunner(ExperimentRunner):
         self._executor = None
         self._executor_kind = "none"
         self._worker_state: Optional[_WorkerState] = None
+        # Whether the current round's shards should ship frontier rows
+        # (set per round from the active FrontierTrace).
+        self._frontier_on = False
 
     # ------------------------------------------------------------------
 
@@ -566,7 +586,8 @@ class ShardedRunner(ExperimentRunner):
         """
         try:
             return self._executor.submit(
-                _run_shard, spec, snapshot, provenance, fault
+                _run_shard, spec, snapshot, provenance, fault,
+                self._frontier_on,
             )
         except _RECOVERABLE_FAULTS as error:
             future: Future = Future()
@@ -633,7 +654,8 @@ class ShardedRunner(ExperimentRunner):
                 if isinstance(error, BrokenProcessPool):
                     self._rebuild_broken_executor()
                 future = self._executor.submit(
-                    _run_shard, spec, snapshot, provenance, clean
+                    _run_shard, spec, snapshot, provenance, clean,
+                    self._frontier_on,
                 )
                 outcome = self._await(future)
                 self._note_degradation(
@@ -650,7 +672,8 @@ class ShardedRunner(ExperimentRunner):
             self._rebuild_broken_executor()
         fallback = _InlineExecutor(self._worker_state)
         outcome = fallback.submit(
-            _run_shard, spec, snapshot, provenance, clean
+            _run_shard, spec, snapshot, provenance, clean,
+            self._frontier_on,
         ).result()
         self._note_degradation(
             spec, "fallback", self.max_retries + 2, failures
@@ -716,6 +739,9 @@ class ShardedRunner(ExperimentRunner):
             _ProvenanceSpec(prefix_filter=recorder.prefix_filter)
             if recorder is not None else None
         )
+        self._frontier_on = active_frontier() is not None
+        frontier_rows: List[tuple] = []
+        profiler = active_profiler()
         registry = get_registry()
         directives = self._shard_directives(index, specs)
         injected = sum(
@@ -775,12 +801,25 @@ class ShardedRunner(ExperimentRunner):
                     # Shard order == serial prefix order (contiguous
                     # blocks), so the ring receives the serial stream.
                     recorder.extend(outcome.provenance)
+                if self._frontier_on and outcome.frontier:
+                    # Same contiguity argument: concatenating shard
+                    # rows in shard order reproduces the serial
+                    # per-prefix row order exactly.
+                    frontier_rows.extend(outcome.frontier)
                 registry.merge_snapshot(outcome.metrics)
                 if outcome.trace is not None:
                     attach_completed(outcome.trace)
+                    if profiler is not None:
+                        # Counter-based attribution for work that ran
+                        # in shard processes this profiler never saw.
+                        profiler.fold_trace(outcome.trace)
                 registry.histogram("runner.shard_wall_seconds").observe(
                     outcome.wall_seconds
                 )
+        if self._frontier_on:
+            # Handed to _capture_round_frontier (base class) right
+            # after this round result is recorded.
+            self._frontier_rows = frontier_rows
         result.duration = total * (1.0 / prober.pps)
         registry.counter("runner.rounds_sharded").inc()
         registry.gauge("runner.shards_per_round").set(len(specs))

@@ -55,6 +55,13 @@ class ShardOutcome:
     the parent had a recorder active; the parent extends its ring with
     them in shard order, reproducing the serial event stream byte for
     byte (see :mod:`repro.obs.provenance`).
+
+    ``frontier`` carries one ``(prefix, signal)`` row per probed
+    prefix (shard prefix order) when the parent has a frontier trace
+    active; the parent concatenates rows in shard order — contiguous
+    blocks of the round's sorted prefix order — so the round-frontier
+    diff it computes matches the serial stream byte for byte (see
+    :mod:`repro.obs.frontier`).
     """
 
     shard_id: int
@@ -64,6 +71,7 @@ class ShardOutcome:
     metrics: dict = field(default_factory=dict)
     trace: Optional[dict] = None
     provenance: List[dict] = field(default_factory=list)
+    frontier: List[tuple] = field(default_factory=list)
 
 
 @dataclass
@@ -171,6 +179,18 @@ class ExperimentResult:
     #: None when the run recorded into a caller-managed recorder or
     #: recorded nothing.  Deterministic like everything else here.
     provenance_events: Optional[List[dict]] = None
+    #: Frontier events captured by a spec-requested local trace
+    #: (:func:`repro.api.run_experiment` with ``frontier_capacity``
+    #: set and no trace already active).  None when the run recorded
+    #: into a caller-managed trace or recorded nothing.  Inside the
+    #: identity contract: byte-identical across workers / shard size /
+    #: decision backend (asserted in tests/test_differential.py).
+    frontier_events: Optional[List[dict]] = None
+    #: Phase-profile payload from a spec-requested local profiler
+    #: (``profile=True``).  Execution metadata like ``degradations`` —
+    #: explicitly *excluded* from the identity contract (timings vary
+    #: run to run).
+    profile: Optional[dict] = None
 
     @property
     def num_rounds(self) -> int:

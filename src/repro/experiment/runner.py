@@ -32,6 +32,12 @@ from ..bgp.engine import PropagationEngine, UpdateEvent
 from ..errors import ExperimentError
 from ..faults import FaultKind, FaultPlan
 from ..obs import get_logger, get_registry, span
+from ..obs.frontier import (
+    active_frontier,
+    flush_round_frontier_metrics,
+    round_frontier_event,
+    signal_rows,
+)
 from ..obs.provenance import active_recorder, selection_event
 from ..probing.forwarding import engine_rib
 from ..probing.host import MeasurementHost
@@ -91,6 +97,11 @@ class ExperimentRunner:
             else None
         )
         self._degradations: list = []
+        # Round-frontier state: the previous round's prefix -> signal
+        # map (diffed against each new round) and, for the sharded
+        # runner, rows shipped back by the current round's workers.
+        self._frontier_prev: Optional[Dict[str, str]] = None
+        self._frontier_rows = None
         #: Optional progress callback (``hook(**fields)``) fired as the
         #: run advances — campaign heartbeats hang off it.  Strictly
         #: observational: exceptions are swallowed, results untouched.
@@ -233,6 +244,8 @@ class ExperimentRunner:
                     engine, prober, rib, index, config_label
                 )
                 result.rounds.append(round_result)
+                self._capture_round_frontier(index, config_label,
+                                             round_result)
                 result.round_times.append(
                     (round_result.started_at,
                      round_result.started_at + round_result.duration)
@@ -367,6 +380,38 @@ class ExperimentRunner:
                 selection_prefix=measurement_prefix,
             ))
 
+    def _capture_round_frontier(
+        self, index: int, config_label: str, round_result
+    ) -> None:
+        """Record one ``kind="round_frontier"`` event: how many probed
+        prefixes' round signal changed since the previous round.
+
+        Rows come from the shard workers when the sharded runner
+        collected them this round (shipped in ``ShardOutcome.frontier``
+        and folded in shard order), otherwise from the serial round
+        result; both derive per-prefix signals through
+        :func:`~repro.obs.frontier.signal_rows`, so the event — and the
+        exported JSONL — is byte-identical across execution modes.
+        """
+        rows, self._frontier_rows = self._frontier_rows, None
+        trace = active_frontier()
+        if trace is None:
+            return
+        if rows is None:
+            responses = round_result.responses
+            rows = signal_rows(
+                (prefix, responses[prefix])
+                for prefix in sorted(
+                    responses, key=lambda p: (p.network, p.length)
+                )
+            )
+        event = round_frontier_event(
+            index, config_label, rows, self._frontier_prev
+        )
+        trace.record(event)
+        flush_round_frontier_metrics(event)
+        self._frontier_prev = dict(rows)
+
     def _announce(
         self,
         engine: PropagationEngine,
@@ -484,10 +529,20 @@ class ExperimentRunner:
         registry.histogram(
             "runner.round_messages", _MESSAGE_BUCKETS
         ).observe(messages)
+        # Cumulative engine convergence detail rides along so status
+        # surfaces can tell a stalled cell from a slowly converging
+        # one (engine "iterations" are delivered messages).
         self._report_progress(
             phase="probing",
             rounds_completed=index + 1,
             config=config_label,
+            engine_iterations=sum(
+                s.messages_delivered for s in result.convergence
+            ),
+            best_changes=sum(s.best_changes for s in result.convergence),
+            messages_dropped=sum(
+                s.messages_dropped for s in result.convergence
+            ),
         )
         if _log.is_enabled_for("info"):
             round_result = result.rounds[index]

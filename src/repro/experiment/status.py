@@ -118,6 +118,11 @@ class CellHeartbeat:
             "rounds_total": None,
             "shards_completed": 0,
             "shards_total": 0,
+            # Convergence detail mirrored from the runner's per-round
+            # engine stats (engine_iterations = messages delivered).
+            "engine_iterations": 0,
+            "best_changes": 0,
+            "messages_dropped": 0,
             "shard_retries": 0,
             "shard_fallbacks": 0,
             "faults_injected": 0,
@@ -242,6 +247,9 @@ class CellStatus:
     phase: str = "pending"
     rounds_completed: int = 0
     rounds_total: Optional[int] = None
+    engine_iterations: int = 0
+    best_changes: int = 0
+    messages_dropped: int = 0
     shard_retries: int = 0
     age_seconds: Optional[float] = None
     wall_seconds: Optional[float] = None
@@ -254,6 +262,22 @@ class CellStatus:
     def rounds_text(self) -> str:
         total = "?" if self.rounds_total is None else str(self.rounds_total)
         return "%d/%s" % (self.rounds_completed, total)
+
+    @property
+    def convergence_text(self) -> str:
+        """``delivered/changed/dropped`` engine totals, or ``-`` when
+        the cell has not reported convergence detail yet."""
+        if not (
+            self.engine_iterations
+            or self.best_changes
+            or self.messages_dropped
+        ):
+            return "-"
+        return "%d/%d/%d" % (
+            self.engine_iterations,
+            self.best_changes,
+            self.messages_dropped,
+        )
 
 
 def _read_json(path: str) -> Optional[dict]:
@@ -422,8 +446,9 @@ class CampaignStatus:
         if verbose and self.cells:
             lines.append("")
             lines.append(
-                "  %-34s %-8s %-8s %7s %6s %8s"
-                % ("cell", "state", "phase", "rounds", "age", "wall")
+                "  %-34s %-8s %-8s %7s %6s %8s %16s"
+                % ("cell", "state", "phase", "rounds", "age", "wall",
+                   "msgs/chg/drop")
             )
             for cell in self.cells:
                 age = (
@@ -438,9 +463,10 @@ class CampaignStatus:
                 if cell.state == "failed" and cell.error:
                     marker = " <- %s" % cell.error
                 lines.append(
-                    "  %-34s %-8s %-8s %7s %6s %8s%s"
+                    "  %-34s %-8s %-8s %7s %6s %8s %16s%s"
                     % (cell.label[:34], cell.state, cell.phase[:8],
-                       cell.rounds_text, age, wall, marker)
+                       cell.rounds_text, age, wall,
+                       cell.convergence_text, marker)
                 )
         for cell in self.stale_cells:
             lines.append(
@@ -473,6 +499,9 @@ def _fold_cell(
         "rounds_total": (
             int(rounds_total) if rounds_total is not None else None
         ),
+        "engine_iterations": int(beat.get("engine_iterations") or 0),
+        "best_changes": int(beat.get("best_changes") or 0),
+        "messages_dropped": int(beat.get("messages_dropped") or 0),
         "shard_retries": int(beat.get("shard_retries") or 0),
         "age_seconds": age,
         "resumed": bool(beat.get("resumed")),

@@ -19,7 +19,15 @@ Zero-dependency instrumentation for the engine → runner → CLI stack:
   background sampling of the registry into a bounded time-series ring
   plus append-only JSONL, turning counters into rate-able series;
 - :mod:`repro.obs.benchtrack` — benchmark trajectory: append-only
-  ``BENCH_HISTORY.jsonl`` plus latest-vs-baseline regression diffs.
+  ``BENCH_HISTORY.jsonl`` plus latest-vs-baseline regression diffs;
+- :mod:`repro.obs.frontier` — convergence-frontier analytics: bounded
+  event trace of per-window frontier sizes, causality depths,
+  quiescence curves, and per-round signal diffs (byte-identical
+  across execution modes; ``--frontier-out``);
+- :mod:`repro.obs.profile` — deterministic phase profiler: cProfile
+  hotspots (or counter-based attribution) aggregated per span phase,
+  exported as mergeable JSON payloads (``--profile-out`` /
+  ``repro profile``).
 
 Everything is off-by-default and adds near-zero overhead when idle:
 hot paths accumulate into locals and flush per convergence run or per
@@ -44,11 +52,35 @@ from .provenance import (
     enable_provenance,
     use_provenance,
 )
+from .frontier import (
+    FrontierTrace,
+    active_frontier,
+    disable_frontier,
+    enable_frontier,
+    use_frontier,
+)
+from .profile import (
+    PhaseProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    use_profiling,
+)
 from .spans import SpanRecord, current_span, finished_roots, reset_trace, span
 from .telemetry import TelemetrySampler
 
 __all__ = [
     "TelemetrySampler",
+    "FrontierTrace",
+    "active_frontier",
+    "enable_frontier",
+    "disable_frontier",
+    "use_frontier",
+    "PhaseProfiler",
+    "active_profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "use_profiling",
     "ProvenanceRecorder",
     "active_recorder",
     "enable_provenance",

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from statistics import median
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "BenchDelta",
@@ -36,6 +37,7 @@ __all__ = [
     "load_history",
     "diff_latest",
     "render_diff",
+    "render_diff_json",
     "history_path",
     "HISTORY_FILENAME",
     "HISTORY_SCHEMA_VERSION",
@@ -79,6 +81,11 @@ def append_history(
     entry["recorded_at"] = round(
         time.time() if recorded_at is None else recorded_at, 3
     )
+    # Stamp the machine so the diff never compares runs across hosts
+    # (a laptop's wall time against a CI runner's is noise, not a
+    # regression).  Entries predating the stamp form their own group.
+    entry.setdefault("host", platform.node() or "unknown")
+    entry.setdefault("cpu_count", os.cpu_count() or 0)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -126,33 +133,40 @@ class BenchDelta:
     latest_seconds: float
     delta_pct: Optional[float]
     regressed: bool
+    #: The host the compared runs executed on ("" for entries written
+    #: before host stamping existed).
+    host: str = ""
 
 
 def diff_latest(
     entries: List[dict],
     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
 ) -> List[BenchDelta]:
-    """Each benchmark's latest run vs the median of its prior runs.
+    """Each benchmark's latest run vs the median of its prior runs
+    *on the same host*.
 
-    A benchmark with a single recorded run has no baseline yet (its
+    Series are keyed by (bench, host), so a trajectory grown across
+    machines never flags a slower machine as a regression; pre-stamp
+    entries (no ``host`` field) form their own group.  A benchmark
+    with a single recorded run in its group has no baseline yet (its
     delta is ``None`` and it can never regress — it *seeds* the
     trajectory).  A regression is ``latest > baseline * (1 + t/100)``.
     """
     if threshold_pct < 0:
         raise ValueError("threshold_pct must be >= 0")
-    series: Dict[str, List[float]] = {}
+    series: Dict[Tuple[str, str], List[float]] = {}
     for entry in entries:
-        series.setdefault(str(entry["bench"]), []).append(
-            float(entry["wall_seconds"])
-        )
+        key = (str(entry["bench"]), str(entry.get("host", "")))
+        series.setdefault(key, []).append(float(entry["wall_seconds"]))
     deltas: List[BenchDelta] = []
-    for bench in sorted(series):
-        walls = series[bench]
+    for bench, host in sorted(series):
+        walls = series[(bench, host)]
         latest = walls[-1]
         if len(walls) < 2:
             deltas.append(BenchDelta(
                 bench=bench, runs=len(walls), baseline_seconds=None,
                 latest_seconds=latest, delta_pct=None, regressed=False,
+                host=host,
             ))
             continue
         baseline = median(walls[:-1])
@@ -166,6 +180,7 @@ def diff_latest(
             latest_seconds=latest,
             delta_pct=delta_pct,
             regressed=baseline > 0 and delta_pct > threshold_pct,
+            host=host,
         ))
     return deltas
 
@@ -199,3 +214,19 @@ def render_diff(
         "%d benchmark(s), %d regressed" % (len(deltas), regressed)
     )
     return "\n".join(lines)
+
+
+def render_diff_json(
+    deltas: List[BenchDelta],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> str:
+    """:func:`diff_latest` output as one JSON document (sorted keys) —
+    the machine-readable twin of :func:`render_diff` for dashboards
+    and scripted gates."""
+    payload = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "threshold_pct": threshold_pct,
+        "benchmarks": [asdict(delta) for delta in deltas],
+        "regressed": sum(1 for d in deltas if d.regressed),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

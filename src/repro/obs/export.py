@@ -48,6 +48,7 @@ __all__ = [
     "write_chrome_trace",
     "to_openmetrics",
     "write_openmetrics",
+    "lint_openmetrics",
 ]
 
 _CATEGORY = "repro"
@@ -203,6 +204,105 @@ def to_openmetrics(snapshot: Optional[dict] = None) -> str:
         )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \S+)?$"
+)
+
+
+def lint_openmetrics(text: str) -> List[str]:
+    """Check *text* against the OpenMetrics text-format rules this
+    exporter promises; returns problem descriptions (empty = clean).
+
+    Covers the properties scrapers actually depend on — a ``# EOF``
+    terminator on the final line, parseable sample lines, ``# TYPE``
+    declared before (and only once for) each family, histogram bucket
+    series that are cumulative with a ``+Inf`` bucket equal to
+    ``_count`` — so CI can gate exported ``metrics.prom`` files
+    without ``promtool``.
+    """
+    problems: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing '# EOF' terminator on the final line")
+    types: dict = {}
+    buckets: dict = {}
+    counts: dict = {}
+    for number, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if number != len(lines):
+                problems.append(
+                    "line %d: '# EOF' before the final line" % number
+                )
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                family, kind = parts[2], parts[3]
+                if family in types:
+                    problems.append(
+                        "line %d: duplicate TYPE for %s" % (number, family)
+                    )
+                types[family] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append("line %d: unparseable sample %r" % (number, line))
+            continue
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                "line %d: non-numeric value %r"
+                % (number, match.group("value"))
+            )
+            continue
+        family = name
+        for suffix in ("_bucket", "_total", "_sum", "_count"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        if family not in types and name not in types:
+            problems.append(
+                "line %d: sample %s before any TYPE declaration"
+                % (number, name)
+            )
+        if name.endswith("_bucket"):
+            labels = match.group("labels") or ""
+            if 'le="' not in labels:
+                problems.append(
+                    "line %d: histogram bucket without an le label"
+                    % number
+                )
+                continue
+            le = labels.split('le="', 1)[1].split('"', 1)[0]
+            series = buckets.setdefault(family, [])
+            if series and value < series[-1][1]:
+                problems.append(
+                    "%s: bucket counts not cumulative (le=%r)"
+                    % (name, le)
+                )
+            series.append((le, value))
+        elif name.endswith("_count") and types.get(family) == "histogram":
+            counts[family] = value
+    for family, series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        if "+Inf" not in les:
+            problems.append("%s: histogram without a +Inf bucket" % family)
+            continue
+        inf_value = dict(series)["+Inf"]
+        if family in counts and counts[family] != inf_value:
+            problems.append(
+                "%s: +Inf bucket (%g) != _count (%g)"
+                % (family, inf_value, counts[family])
+            )
+    return problems
 
 
 def write_openmetrics(path: str, snapshot: Optional[dict] = None) -> int:

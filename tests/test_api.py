@@ -135,15 +135,15 @@ def test_digest_stability():
     """Pinned digests: a drift here breaks every existing campaign
     checkpoint directory, so it must be deliberate (bump
     SPEC_SCHEMA_VERSION and say so in CHANGES.md).  Re-pinned for
-    schema 2 (the ``decision_backend`` field)."""
-    assert ExperimentSpec().digest() == "b155b57f1f372582"
+    schema 3 (the ``frontier_capacity`` and ``profile`` fields)."""
+    assert ExperimentSpec().digest() == "d11228980a54a173"
     assert ExperimentSpec(
         experiment="surf", seed=3, scale=0.05
-    ).digest() == "f92226993894713b"
+    ).digest() == "4e28ec77156a31a1"
     assert ExperimentSpec(
         experiment="internet2", seed=7, scenario="re-dominant",
         config_overrides={"no_commodity_rate": 0.5},
-    ).digest() == "a34ca746645d041c"
+    ).digest() == "833857cd0cd5968f"
 
 
 def test_digest_changes_with_simulation_fields():

@@ -31,6 +31,7 @@ from repro.core.report import reproduce_paper
 from repro.experiment.parallel import ShardedRunner
 from repro.experiment.runner import ExperimentRunner
 from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.obs.frontier import FrontierTrace, use_frontier
 from repro.obs.provenance import ProvenanceRecorder, use_provenance
 from repro.rng import SeedTree
 
@@ -51,6 +52,18 @@ def _run_with_provenance(runner):
     assert recorder.dropped == 0, "ring overflow would break identity"
     buffer = io.StringIO()
     recorder.export_jsonl(buffer)
+    return result, buffer.getvalue()
+
+
+def _run_with_frontier(runner):
+    """Run one experiment with a fresh frontier trace; returns the
+    result and the exported frontier stream as JSONL text."""
+    trace = FrontierTrace()
+    with use_frontier(trace):
+        result = runner.run()
+    assert trace.dropped == 0, "ring overflow would break identity"
+    buffer = io.StringIO()
+    trace.export_jsonl(buffer)
     return result, buffer.getvalue()
 
 
@@ -490,3 +503,82 @@ class TestFastpathOracle:
         finally:
             for asn in topology.nodes:
                 topology.node(asn).policy.age_tiebreak = True
+
+
+@pytest.fixture(scope="module")
+def frontier_case():
+    """The frontier-differential grid: the object-backend serial run
+    next to both backends at workers 1, 2 and 4, all with a frontier
+    trace attached.  The exported JSONL is inside the identity
+    contract, so every stream must be byte-identical."""
+    seed, scale = GRID[0]
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    serial, serial_jsonl = _run_with_frontier(
+        ExperimentRunner(ecosystem, "surf", seed=seed,
+                         decision_backend="object")
+    )
+    streams = {"object serial": serial_jsonl}
+    streams["array serial"] = _run_with_frontier(
+        ExperimentRunner(ecosystem, "surf", seed=seed,
+                         decision_backend="array")
+    )[1]
+    for backend in ("object", "array"):
+        for workers in (1, 2, 4):
+            label = "%s workers=%d" % (backend, workers)
+            streams[label] = _run_with_frontier(
+                ShardedRunner(ecosystem, "surf", seed=seed,
+                              workers=workers, decision_backend=backend)
+            )[1]
+    return ecosystem, serial, streams
+
+
+class TestFrontierDifferential:
+    """The convergence-frontier stream — per-window frontier sizes,
+    quiescence curves, per-round signal diffs — is byte-identical
+    across decision backends and workers 1/2/4.  Frontier events ride
+    inside the identity contract (unlike the profiler, which reports
+    wall-time and is excluded); any divergence is a correctness bug."""
+
+    def test_streams_byte_identical(self, frontier_case):
+        _, _, streams = frontier_case
+        serial_jsonl = streams["object serial"]
+        assert serial_jsonl, "serial run emitted no frontier events"
+        for label, jsonl in streams.items():
+            if label == "object serial":
+                continue
+            assert jsonl == serial_jsonl, (
+                "%s frontier stream diverged from serial" % label
+            )
+
+    def test_stream_shape(self, frontier_case):
+        _, serial, streams = frontier_case
+        events = [
+            json.loads(line)
+            for line in streams["object serial"].splitlines()
+        ]
+        kinds = {event["kind"] for event in events}
+        assert {"engine_window", "engine_run", "round_frontier"} <= kinds
+        rounds = [e for e in events if e["kind"] == "round_frontier"]
+        assert len(rounds) == len(serial.rounds)
+        assert [e["round"] for e in rounds] == \
+            list(range(len(serial.rounds)))
+        for event in events:
+            if event["kind"] == "engine_run":
+                assert event["windows"] >= 1
+                assert len(event["quiescence"]) == \
+                    event["windows"] - event["truncated"]
+                assert event["count"] >= event["changed"]
+
+    def test_frontier_survives_injected_crashes(self, frontier_case):
+        """A sharded run recovering from worker crashes ships the
+        same frontier rows as the fault-free serial run."""
+        ecosystem, _, streams = frontier_case
+        seed, _ = GRID[0]
+        _, faulted_jsonl = _run_with_frontier(
+            ShardedRunner(
+                ecosystem, "surf", seed=seed, workers=WORKERS,
+                fault_plan=CRASH_PLAN, shard_timeout=0.5,
+                backoff_base=0.0,
+            )
+        )
+        assert faulted_jsonl == streams["object serial"]

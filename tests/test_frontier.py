@@ -1,0 +1,369 @@
+"""Convergence-frontier analytics (repro.obs.frontier): the bounded
+trace, the engine/fastpath window accumulators, per-round signal
+diffs, the ExperimentSpec/run_experiment integration, and campaign
+cell artifacts.
+
+The cross-mode byte-identity of the stream is asserted in
+tests/test_differential.py; these tests pin the event shapes and the
+plumbing around them.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    Announcement,
+    REEcosystemConfig,
+    build_ecosystem,
+    propagate_fastpath,
+)
+from repro.api import ExperimentSpec, run_experiment
+from repro.bgp.engine import PropagationEngine
+from repro.errors import ExperimentError
+from repro.experiment.campaign import CampaignRunner, plan_grid
+from repro.obs.frontier import (
+    DEFAULT_FRONTIER_CAPACITY,
+    ENGINE_WINDOW,
+    FASTPATH_WINDOW,
+    FRONTIER_COUNT_BUCKETS,
+    SAMPLE_LIMIT,
+    FrontierTrace,
+    active_frontier,
+    disable_frontier,
+    enable_frontier,
+    flush_round_frontier_metrics,
+    round_frontier_event,
+    signal_rows,
+    use_frontier,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+SCALE = 0.04
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_trace():
+    disable_frontier()
+    yield
+    disable_frontier()
+
+
+# ---------------------------------------------------------------------
+# The trace ring
+
+
+class TestFrontierTrace:
+    def test_ring_bound_and_dropped(self):
+        trace = FrontierTrace(capacity=3)
+        for index in range(5):
+            trace.record({"kind": "x", "n": index})
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert trace.total_recorded == 5
+        assert [e["n"] for e in trace.events()] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FrontierTrace(capacity=0)
+
+    def test_kind_filter_and_clear(self):
+        trace = FrontierTrace()
+        trace.extend([{"kind": "a"}, {"kind": "b"}, {"kind": "a"}])
+        assert len(trace.events(kind="a")) == 2
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_export_jsonl_sorted_keys(self):
+        trace = FrontierTrace()
+        trace.record({"b": 2, "a": 1, "kind": "x"})
+        buffer = io.StringIO()
+        assert trace.export_jsonl(buffer) == 1
+        assert buffer.getvalue() == '{"a": 1, "b": 2, "kind": "x"}\n'
+
+    def test_export_jsonl_file(self, tmp_path):
+        trace = FrontierTrace()
+        trace.extend([{"kind": "x"}, {"kind": "y"}])
+        path = tmp_path / "frontier.jsonl"
+        assert trace.export_jsonl_file(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["x", "y"]
+
+
+class TestSingleton:
+    def test_disabled_by_default(self):
+        assert active_frontier() is None
+
+    def test_enable_disable(self):
+        trace = enable_frontier(capacity=16)
+        assert active_frontier() is trace
+        assert trace.capacity == 16
+        assert disable_frontier() is trace
+        assert active_frontier() is None
+
+    def test_use_frontier_restores_previous(self):
+        outer = enable_frontier()
+        with use_frontier() as inner:
+            assert active_frontier() is inner
+            assert inner is not outer
+        assert active_frontier() is outer
+
+    def test_default_capacity(self):
+        with use_frontier() as trace:
+            assert trace.capacity == DEFAULT_FRONTIER_CAPACITY
+
+
+# ---------------------------------------------------------------------
+# Engine and fastpath accumulators
+
+
+def _small_world(seed=0):
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=SCALE), seed=seed)
+    prefix = ecosystem.measurement_prefix
+    return ecosystem, prefix
+
+
+class TestEngineFrontier:
+    def test_run_events_recorded(self):
+        from repro.rng import SeedTree
+
+        ecosystem, prefix = _small_world()
+        with use_frontier() as trace:
+            engine = PropagationEngine(ecosystem.topology, SeedTree(0))
+            engine.announce(
+                ecosystem.commodity_origin, prefix, tag="commodity"
+            )
+            engine.run_to_fixpoint()
+            engine.announce(ecosystem.internet2_origin, prefix, tag="re")
+            engine.run_to_fixpoint()
+        runs = trace.events(kind="engine_run")
+        assert [event["run"] for event in runs] == [0, 1]
+        for event in runs:
+            assert event["count"] >= event["changed"] >= 0
+            assert event["windows"] == len(event["quiescence"]) + \
+                event["truncated"]
+            assert sum(event["quiescence"]) <= event["changed"]
+            assert event["peak_causal_depth"] >= 1
+        windows = trace.events(kind="engine_window")
+        # Window deliveries re-sum to the run totals.
+        for run_event in runs:
+            mine = [w for w in windows if w["run"] == run_event["run"]]
+            assert sum(w["count"] for w in mine) == run_event["count"]
+            assert all(w["count"] <= ENGINE_WINDOW for w in mine)
+            for w in mine:
+                assert w["frontier"] >= len(w["sample"])
+                assert len(w["sample"]) <= SAMPLE_LIMIT
+                assert w["sample"] == sorted(w["sample"])
+
+    def test_disabled_records_nothing(self):
+        from repro.rng import SeedTree
+
+        ecosystem, prefix = _small_world()
+        trace = FrontierTrace()
+        engine = PropagationEngine(ecosystem.topology, SeedTree(0))
+        engine.announce(ecosystem.commodity_origin, prefix, tag="re")
+        engine.run_to_fixpoint()
+        assert len(trace) == 0
+        assert active_frontier() is None
+
+
+class TestFastpathFrontier:
+    def test_run_event_carries_prefix(self):
+        ecosystem, prefix = _small_world()
+        announcements = [
+            Announcement(prefix, ecosystem.internet2_origin, tag="re"),
+            Announcement(
+                prefix, ecosystem.commodity_origin, tag="commodity"
+            ),
+        ]
+        with use_frontier() as trace:
+            propagate_fastpath(ecosystem.topology, announcements)
+        runs = trace.events(kind="fastpath_run")
+        assert len(runs) == 1
+        assert runs[0]["prefix"] == str(prefix)
+        assert runs[0]["count"] > 0
+        windows = trace.events(kind="fastpath_window")
+        assert all(w["prefix"] == str(prefix) for w in windows)
+        assert all(w["count"] <= FASTPATH_WINDOW for w in windows)
+        assert sum(w["count"] for w in windows) == runs[0]["count"]
+
+    def test_run_ids_advance_with_stream(self):
+        ecosystem, prefix = _small_world()
+        announcements = [
+            Announcement(prefix, ecosystem.internet2_origin, tag="re"),
+        ]
+        with use_frontier() as trace:
+            propagate_fastpath(ecosystem.topology, announcements)
+            first = trace.events(kind="fastpath_run")[-1]["run"]
+            propagate_fastpath(ecosystem.topology, announcements)
+            second = trace.events(kind="fastpath_run")[-1]["run"]
+        # Ids derive from the trace position — deterministic because
+        # the stream itself is — so a later run has a larger id.
+        assert second > first
+
+
+# ---------------------------------------------------------------------
+# Per-round signal diffs
+
+
+class _FakeResponse:
+    def __init__(self, responded, kind=None, origin=None):
+        self.responded = responded
+        self.interface_kind = kind
+        self.origin_asn = origin
+
+
+class TestRoundFrontier:
+    def test_signal_rows(self):
+        rows = signal_rows([
+            ("10.0.0.0/24", [_FakeResponse(True, "re", 7)]),
+            ("10.0.1.0/24", [_FakeResponse(False)]),
+        ])
+        assert rows == [("10.0.0.0/24", "re"), ("10.0.1.0/24", "none")]
+
+    def test_first_round_counts_appearances(self):
+        rows = [("a", "re"), ("b", "none"), ("c", "both")]
+        event = round_frontier_event(0, "4-0", rows, previous=None)
+        assert event["kind"] == "round_frontier"
+        assert event["round"] == 0
+        assert event["config"] == "4-0"
+        assert event["prefixes"] == 3
+        assert event["changed"] == 2
+        assert event["sample"] == ["a", "c"]
+        assert event["signals"] == {"both": 1, "none": 1, "re": 1}
+
+    def test_diff_against_previous_round(self):
+        previous = {"a": "re", "b": "re", "c": "none"}
+        rows = [("a", "re"), ("b", "both"), ("c", "none"), ("d", "re")]
+        event = round_frontier_event(3, "2-2", rows, previous)
+        assert event["changed"] == 2  # b flipped, d appeared
+        assert event["sample"] == ["b", "d"]
+
+    def test_sample_is_bounded_and_sorted(self):
+        rows = [("p%02d" % n, "re") for n in reversed(range(20))]
+        event = round_frontier_event(0, "0-0", rows, previous=None)
+        assert event["changed"] == 20
+        assert len(event["sample"]) == SAMPLE_LIMIT
+        assert event["sample"] == sorted(event["sample"])
+
+    def test_metrics_flush(self):
+        event = round_frontier_event(
+            1, "0-0", [("a", "re"), ("b", "none")], {"a": "none"}
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            flush_round_frontier_metrics(event)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["frontier.rounds_captured"] == 1
+        # "a" flipped none->re; "b" is new to the map: both changed.
+        assert snapshot["gauges"]["frontier.round_changed"] == 2
+        assert snapshot["gauges"]["frontier.round_prefixes"] == 2
+        histogram = snapshot["histograms"][
+            "frontier.round_changed_prefixes"
+        ]
+        assert histogram["count"] == 1
+
+
+# ---------------------------------------------------------------------
+# Spec / run_experiment / campaign integration
+
+
+class TestSpecIntegration:
+    def test_frontier_capacity_validated(self):
+        with pytest.raises(ExperimentError, match="frontier_capacity"):
+            ExperimentSpec(scale=SCALE, frontier_capacity=0)
+
+    def test_wants_flags(self):
+        spec = ExperimentSpec(scale=SCALE)
+        assert not spec.wants_frontier
+        assert not spec.wants_profile
+        spec = ExperimentSpec(
+            scale=SCALE, frontier_capacity=1024, profile=True
+        )
+        assert spec.wants_frontier
+        assert spec.wants_profile
+
+    def test_spec_round_trips_new_fields(self):
+        spec = ExperimentSpec(
+            scale=SCALE, frontier_capacity=2048, profile=True
+        )
+        clone = ExperimentSpec.from_dict(spec.as_dict())
+        assert clone.frontier_capacity == 2048
+        assert clone.profile is True
+        assert clone.digest() == spec.digest()
+
+    def test_run_experiment_attaches_streams(self):
+        spec = ExperimentSpec(
+            scale=SCALE, frontier_capacity=4096, profile=True
+        )
+        result = run_experiment(spec)
+        assert result.frontier_events
+        kinds = {event["kind"] for event in result.frontier_events}
+        assert "round_frontier" in kinds
+        assert result.profile is not None
+        assert result.profile["kind"] == "phase_profile"
+        assert result.profile["phases"]
+        # The installed trace/profiler were run-local.
+        assert active_frontier() is None
+
+    def test_run_experiment_defaults_attach_nothing(self):
+        result = run_experiment(ExperimentSpec(scale=SCALE))
+        assert result.frontier_events is None
+        assert result.profile is None
+
+
+class TestCampaignFrontier:
+    @pytest.fixture(scope="class")
+    def campaign_dirs(self, tmp_path_factory):
+        specs = plan_grid(
+            [0], scenarios=["baseline"], experiments=("surf",),
+            scale=SCALE, frontier_capacity=8192, profile=True,
+        )
+        inline = str(tmp_path_factory.mktemp("inline"))
+        pooled = str(tmp_path_factory.mktemp("pooled"))
+        CampaignRunner(specs, inline, pool_workers=1).run()
+        CampaignRunner(specs, pooled, pool_workers=2).run()
+        return specs, inline, pooled
+
+    def _frontier_text(self, directory, digest):
+        path = "%s/cells/%s.frontier.jsonl" % (directory, digest)
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def test_cell_frontier_artifact_written(self, campaign_dirs):
+        specs, inline, _ = campaign_dirs
+        text = self._frontier_text(inline, specs[0].digest())
+        assert text
+        kinds = {json.loads(line)["kind"] for line in text.splitlines()}
+        assert "round_frontier" in kinds
+
+    def test_inline_and_pooled_artifacts_identical(self, campaign_dirs):
+        specs, inline, pooled = campaign_dirs
+        digest = specs[0].digest()
+        assert self._frontier_text(pooled, digest) == \
+            self._frontier_text(inline, digest)
+
+    def test_cell_and_campaign_profiles_written(self, campaign_dirs):
+        specs, inline, _ = campaign_dirs
+        runner = CampaignRunner(specs, inline)
+        with open(
+            runner.cell_profile_path(specs[0].digest()),
+            "r", encoding="utf-8",
+        ) as handle:
+            cell_payload = json.load(handle)
+        assert cell_payload["kind"] == "phase_profile"
+        assert cell_payload["phases"]
+        with open(
+            runner.campaign_profile_path, "r", encoding="utf-8"
+        ) as handle:
+            campaign_payload = json.load(handle)
+        assert campaign_payload["kind"] == "phase_profile"
+        assert campaign_payload["labels"]["cells"] == "1"
+        assert campaign_payload["phases"]
+
+
+class TestMetricsBuckets:
+    def test_bucket_bounds_are_sorted(self):
+        assert list(FRONTIER_COUNT_BUCKETS) == \
+            sorted(FRONTIER_COUNT_BUCKETS)

@@ -42,8 +42,14 @@ from repro.obs.benchtrack import (
     diff_latest,
     load_history,
     render_diff,
+    render_diff_json,
 )
-from repro.obs.export import metric_name, to_openmetrics, write_openmetrics
+from repro.obs.export import (
+    lint_openmetrics,
+    metric_name,
+    to_openmetrics,
+    write_openmetrics,
+)
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetrySampler,
@@ -763,3 +769,251 @@ class TestBenchTrack:
     def test_cli_threshold_validation(self, capsys):
         assert main(["bench-diff", "--threshold", "-5"]) == 2
         assert "--threshold" in capsys.readouterr().err
+
+
+class TestBenchTrackHosts:
+    """Host stamping and per-host baseline grouping (the diff must
+    never call a slower machine a regression)."""
+
+    def test_append_stamps_host_and_cpu_count(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_history({"bench": "a", "wall_seconds": 1.0}, path=path)
+        entry = load_history(path)[0]
+        assert entry["host"]
+        assert entry["cpu_count"] >= 1
+
+    def test_explicit_host_survives(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_history(
+            {"bench": "a", "wall_seconds": 1.0, "host": "ci-1"},
+            path=path,
+        )
+        assert load_history(path)[0]["host"] == "ci-1"
+
+    def test_cross_host_runs_never_compared(self):
+        entries = [
+            {"bench": "a", "wall_seconds": 1.0, "host": "laptop"},
+            {"bench": "a", "wall_seconds": 9.0, "host": "ci-runner"},
+        ]
+        deltas = diff_latest(entries, threshold_pct=20.0)
+        # Two single-run groups: both seeded, neither regressed.
+        assert len(deltas) == 2
+        assert {d.host for d in deltas} == {"laptop", "ci-runner"}
+        assert all(d.baseline_seconds is None for d in deltas)
+        assert not any(d.regressed for d in deltas)
+
+    def test_same_host_series_still_regresses(self):
+        entries = [
+            {"bench": "a", "wall_seconds": w, "host": "ci"}
+            for w in (1.0, 1.0, 1.5)
+        ]
+        deltas = diff_latest(entries, threshold_pct=20.0)
+        assert len(deltas) == 1
+        assert deltas[0].regressed
+
+    def test_pre_stamp_entries_form_their_own_group(self):
+        entries = [
+            {"bench": "a", "wall_seconds": 1.0},
+            {"bench": "a", "wall_seconds": 1.0, "host": "ci"},
+        ]
+        deltas = diff_latest(entries)
+        assert len(deltas) == 2
+
+
+class TestBenchDiffJson:
+    def test_render_diff_json_shape(self):
+        entries = [
+            {"bench": "a", "wall_seconds": w, "host": "ci"}
+            for w in (1.0, 1.0, 1.5)
+        ]
+        document = json.loads(render_diff_json(
+            diff_latest(entries, threshold_pct=20.0),
+            threshold_pct=20.0,
+        ))
+        assert document["regressed"] == 1
+        assert document["threshold_pct"] == 20.0
+        [bench] = document["benchmarks"]
+        assert bench["bench"] == "a"
+        assert bench["host"] == "ci"
+        assert bench["regressed"] is True
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "history.jsonl")
+        for wall in (1.0, 1.02, 0.98):
+            append_history(
+                {"bench": "sweep", "wall_seconds": wall}, path=path
+            )
+        assert main(["bench-diff", "--history", path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["regressed"] == 0
+        assert [b["bench"] for b in document["benchmarks"]] == ["sweep"]
+
+    def test_cli_json_flag_regression_exit(self, tmp_path, capsys):
+        path = str(tmp_path / "history.jsonl")
+        for wall in (1.0, 1.0, 1.9):
+            append_history(
+                {"bench": "sweep", "wall_seconds": wall}, path=path
+            )
+        assert main(["bench-diff", "--history", path, "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["regressed"] == 1
+
+
+class TestOpenMetricsInfSynthesis:
+    def test_missing_inf_bucket_synthesised_from_count(self):
+        snapshot = {
+            "histograms": {
+                "round.duration": {
+                    "buckets": [[1.0, 2], [10.0, 1]],
+                    "sum": 12.0,
+                    "count": 5,
+                }
+            }
+        }
+        lines = to_openmetrics(snapshot).splitlines()
+        # The exporter closes the series itself: +Inf == _count, so
+        # the two off-bucket observations are still accounted for.
+        assert 'repro_round_duration_bucket{le="+Inf"} 5' in lines
+        assert "repro_round_duration_count 5" in lines
+        assert lint_openmetrics(to_openmetrics(snapshot)) == []
+
+
+class TestOpenMetricsLint:
+    def test_real_export_is_clean(self):
+        assert lint_openmetrics(
+            to_openmetrics(_registry_with_data().snapshot())
+        ) == []
+
+    def test_compact_telemetry_form_is_clean(self):
+        sample = build_sample(_registry_with_data(), seq=0, elapsed=0.0)
+        assert lint_openmetrics(to_openmetrics(sample)) == []
+
+    def test_missing_eof_flagged(self):
+        text = to_openmetrics(_registry_with_data().snapshot())
+        problems = lint_openmetrics(text.replace("# EOF\n", ""))
+        assert any("EOF" in p for p in problems)
+
+    def test_eof_before_final_line_flagged(self):
+        problems = lint_openmetrics(
+            "# EOF\n# TYPE repro_x counter\nrepro_x_total 1\n"
+        )
+        assert any("before the final line" in p for p in problems)
+
+    def test_unparseable_sample_flagged(self):
+        problems = lint_openmetrics(
+            "# TYPE repro_x gauge\nrepro_x one two three four\n# EOF\n"
+        )
+        assert any("unparseable" in p for p in problems)
+
+    def test_non_numeric_value_flagged(self):
+        problems = lint_openmetrics(
+            "# TYPE repro_x gauge\nrepro_x fast\n# EOF\n"
+        )
+        assert any("non-numeric" in p for p in problems)
+
+    def test_sample_before_type_flagged(self):
+        problems = lint_openmetrics("repro_x 1\n# EOF\n")
+        assert any("before any TYPE" in p for p in problems)
+
+    def test_duplicate_type_flagged(self):
+        problems = lint_openmetrics(
+            "# TYPE repro_x gauge\n# TYPE repro_x gauge\n"
+            "repro_x 1\n# EOF\n"
+        )
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+            "# EOF\n"
+        )
+        problems = lint_openmetrics(text)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_missing_inf_bucket_flagged(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        problems = lint_openmetrics(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_inf_count_mismatch_flagged(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        problems = lint_openmetrics(text)
+        assert any("_count" in p for p in problems)
+
+    def test_bucket_without_le_flagged(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{gt="1"} 5\n'
+            "# EOF\n"
+        )
+        problems = lint_openmetrics(text)
+        assert any("le label" in p for p in problems)
+
+
+class TestConvergenceDetail:
+    """Satellite: per-cell engine convergence in ``repro status``
+    (delivered/changed/dropped, from the runner's progress hook)."""
+
+    def test_convergence_text_formats(self):
+        from repro.experiment.status import CellStatus
+
+        blank = CellStatus(digest="d", label="cell", state="pending")
+        assert blank.convergence_text == "-"
+        busy = CellStatus(
+            digest="d", label="cell", state="running",
+            engine_iterations=1234, best_changes=56, messages_dropped=7,
+        )
+        assert busy.convergence_text == "1234/56/7"
+
+    def test_runner_progress_reports_engine_detail(self):
+        from repro.experiment.runner import ExperimentRunner
+        from repro.topology.re_ecosystem import build_ecosystem
+        from repro.topology.re_config import REEcosystemConfig
+
+        ecosystem = build_ecosystem(
+            REEcosystemConfig(scale=0.04), seed=0
+        )
+        runner = ExperimentRunner(ecosystem, "surf", seed=0)
+        seen = []
+        runner.progress_hook = lambda **fields: seen.append(fields)
+        runner.run()
+        detailed = [f for f in seen if "engine_iterations" in f]
+        assert detailed
+        last = detailed[-1]
+        assert last["engine_iterations"] > 0
+        assert last["best_changes"] > 0
+        assert last["messages_dropped"] >= 0
+
+    def test_heartbeat_to_status_round_trip(self, tmp_path):
+        heartbeat = CellHeartbeat(
+            str(tmp_path / STATUS_DIRNAME), "abc123", "surf/seed0"
+        )
+        heartbeat.begin(rounds_total=9)
+        heartbeat.progress(
+            phase="probing", rounds_completed=3,
+            engine_iterations=4200, best_changes=17, messages_dropped=2,
+        )
+        status = CampaignStatus.load(str(tmp_path))
+        [cell] = status.cells
+        assert cell.engine_iterations == 4200
+        assert cell.best_changes == 17
+        assert cell.messages_dropped == 2
+        assert cell.convergence_text == "4200/17/2"
+        rendered = status.render()
+        assert "msgs/chg/drop" in rendered
+        assert "4200/17/2" in rendered
