@@ -60,6 +60,8 @@ from .topology.re_ecosystem import Ecosystem, build_ecosystem
 
 __all__ = [
     "ExperimentSpec",
+    "Prediction",
+    "WhatIfSession",
     "build_runner",
     "run_experiment",
     "SPEC_SCHEMA_VERSION",
@@ -447,3 +449,9 @@ def run_experiment(
     if profiler is not None:
         result.profile = profiler.as_payload()
     return result
+
+
+# Re-exported at the bottom: repro.whatif imports ExperimentSpec from
+# this module, so the facade pulls the session in only after its own
+# definitions exist.
+from .whatif import Prediction, WhatIfSession  # noqa: E402

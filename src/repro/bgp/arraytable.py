@@ -235,6 +235,48 @@ class ArrayRibGroup:
         del self._routes[last]
         del self._nbrs[last]
 
+    def neighbors(self) -> List[int]:
+        """Sorted neighbor keys currently holding a row — the
+        mirror-audit hook (must equal ``sorted(adj_rib_in[prefix])``)."""
+        return sorted(self._index)
+
+    def audit(self) -> List[str]:
+        """Internal-consistency problems (empty when healthy).
+
+        The index must be the exact inverse of the row lists: same
+        size, every mapping pointing at a row that holds its neighbor
+        key, no orphan rows left behind by swap-remove."""
+        problems: List[str] = []
+        if not (len(self._keys) == len(self._routes) == len(self._nbrs)):
+            problems.append(
+                "row lists disagree: %d keys / %d routes / %d neighbors"
+                % (len(self._keys), len(self._routes), len(self._nbrs))
+            )
+        if len(self._index) != len(self._nbrs):
+            problems.append(
+                "index holds %d entries for %d rows"
+                % (len(self._index), len(self._nbrs))
+            )
+        for neighbor, row in sorted(self._index.items()):
+            if row >= len(self._nbrs) or self._nbrs[row] != neighbor:
+                problems.append(
+                    "index maps neighbor %d to row %d holding %r"
+                    % (
+                        neighbor,
+                        row,
+                        self._nbrs[row] if row < len(self._nbrs) else None,
+                    )
+                )
+        return problems
+
+    def state(self) -> tuple:
+        """Canonical (neighbor, key) rows sorted by neighbor — equal
+        for any mutation history reaching the same RIB contents."""
+        return tuple(
+            (neighbor, self._keys[row])
+            for neighbor, row in sorted(self._index.items())
+        )
+
     def best(self) -> Optional[Route]:
         """The unique decision-process winner, or None when empty.
 

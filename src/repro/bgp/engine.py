@@ -45,6 +45,18 @@ MESSAGE_LIMIT_WARN_RATIO = 0.8
 _log = get_logger("repro.engine")
 
 
+def _route_state(route: Route) -> tuple:
+    """Every semantically meaningful Route field, as a plain tuple."""
+    return (
+        route.path.asns,
+        route.learned_from,
+        route.localpref,
+        route.med,
+        route.installed_at,
+        route.tag,
+    )
+
+
 @dataclass(frozen=True)
 class UpdateEvent:
     """A loc-RIB best change at one AS (what a full-feed collector
@@ -126,6 +138,120 @@ class _Message:
     tag: str = field(compare=False, default="")
 
 
+# ----- warm-state deltas -------------------------------------------------
+#
+# A delta is a small frozen description of one change to an already
+# converged network: re-announce, withdraw, a prepend reconfiguration,
+# a localpref edit, or a link flap.  ``apply_delta`` applies it to the
+# warm RIBs and reconverges only the affected frontier — the engine is
+# naturally incremental (exports are only enqueued from state that
+# actually changed), so warm-after-delta state is byte-identical to a
+# cold rebuild that replays the same history from scratch.  The cold
+# path stays authoritative: the differential tests rebuild from scratch
+# and compare RIB contents, replay keys, and classifications.
+
+
+@dataclass(frozen=True)
+class AnnounceDelta:
+    """(Re-)announce *prefix* from *origin_asn* (see
+    :meth:`PropagationEngine.announce` for the prepend semantics)."""
+
+    origin_asn: int
+    prefix: Prefix
+    prepends: Optional[Dict[int, int]] = None
+    default_prepends: int = 0
+    tag: str = ""
+
+    kind = "announce"
+
+
+@dataclass(frozen=True)
+class WithdrawDelta:
+    """Withdraw *prefix* at its origin."""
+
+    origin_asn: int
+    prefix: Prefix
+
+    kind = "withdraw"
+
+
+@dataclass(frozen=True)
+class PrependChange:
+    """Re-announce an existing announcement with a new default prepend
+    count, keeping its per-neighbor prepends and tag.  This is the
+    config-to-config step of the nine-configuration sweep."""
+
+    origin_asn: int
+    prefix: Prefix
+    prepends: int
+
+    kind = "prepend_change"
+
+
+@dataclass(frozen=True)
+class LocalprefEdit:
+    """Set *asn*'s import localpref for routes learned from
+    *neighbor_asn* and reprice the already-installed routes."""
+
+    asn: int
+    neighbor_asn: int
+    value: int
+
+    kind = "localpref_edit"
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Fail and/or restore the a-b link.
+
+    ``action`` is ``"down"``, ``"up"``, or ``"flap"`` (down then up,
+    each reconverged separately — matching how fault plans replay)."""
+
+    a: int
+    b: int
+    action: str = "flap"
+
+    kind = "link_flap"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("down", "up", "flap"):
+            raise EngineError(
+                "unknown link flap action %r (want down/up/flap)" % (self.action,)
+            )
+
+
+@dataclass
+class DeltaOutcome:
+    """What one :meth:`PropagationEngine.apply_delta` call did.
+
+    ``dirty_prefixes`` / ``touched_ases`` bound the re-propagation
+    frontier: only these prefixes changed any loc-RIB, only this many
+    ASes selected a new best.  ``stats`` has one entry per
+    ``run_to_fixpoint`` the delta triggered (two for a full flap)."""
+
+    delta: object
+    stats: List[ConvergenceStats]
+    dirty_prefixes: Tuple[str, ...]
+    touched_ases: int
+
+    @property
+    def messages_delivered(self) -> int:
+        return sum(s.messages_delivered for s in self.stats)
+
+    @property
+    def best_changes(self) -> int:
+        return sum(s.best_changes for s in self.stats)
+
+    def replay_key(self) -> tuple:
+        """Deterministic summary: per-run replay keys plus the dirty
+        frontier (wall time excluded, like ConvergenceStats)."""
+        return (
+            tuple(s.replay_key() for s in self.stats),
+            self.dirty_prefixes,
+            self.touched_ases,
+        )
+
+
 class PropagationEngine:
     """Propagates BGP routes over a :class:`Topology`.
 
@@ -191,6 +317,9 @@ class PropagationEngine:
         # run_to_fixpoint, only populated while a FrontierTrace is
         # active.
         self._frontier_runs = 0
+        # Dirty-set accumulators, non-None only inside apply_delta.
+        self._dirty: Optional[Set[Prefix]] = None
+        self._touched: Optional[Set[int]] = None
 
     # ----- public control ------------------------------------------------
 
@@ -281,8 +410,167 @@ class PropagationEngine:
             for prefix in list(router.loc_rib):
                 self._export_to_neighbor(local, remote, prefix)
 
+    def apply_delta(self, delta) -> DeltaOutcome:
+        """Apply one warm-state delta and reconverge.
+
+        The converged RIBs stay in place; only state the delta actually
+        perturbs re-propagates (the engine only enqueues exports from
+        changed loc-RIBs, so the heap inherently bounds the dirty
+        frontier).  Returns a :class:`DeltaOutcome` measuring that
+        frontier.  The result is byte-identical to rebuilding cold and
+        replaying the full history — the cold path remains the
+        differential oracle, never a fallback.
+        """
+        if self._dirty is not None:
+            raise EngineError("apply_delta calls cannot nest")
+        self._dirty = set()
+        self._touched = set()
+        stats_list: List[ConvergenceStats] = []
+        try:
+            if isinstance(delta, AnnounceDelta):
+                self.announce(
+                    delta.origin_asn,
+                    delta.prefix,
+                    prepends=delta.prepends,
+                    default_prepends=delta.default_prepends,
+                    tag=delta.tag,
+                )
+                # announce() installs the origin's own route without an
+                # update-log entry; count the origin in the frontier
+                # explicitly.
+                self._mark_dirty(delta.origin_asn, delta.prefix)
+                stats_list.append(self.run_to_fixpoint())
+            elif isinstance(delta, PrependChange):
+                previous = self._announcements.get(
+                    (delta.origin_asn, delta.prefix)
+                )
+                if previous is None:
+                    raise EngineError(
+                        "no live announcement of %s from AS %d to re-prepend"
+                        % (delta.prefix, delta.origin_asn)
+                    )
+                self.announce(
+                    delta.origin_asn,
+                    delta.prefix,
+                    prepends=dict(previous.prepends),
+                    default_prepends=delta.prepends,
+                    tag=previous.tag,
+                )
+                self._mark_dirty(delta.origin_asn, delta.prefix)
+                stats_list.append(self.run_to_fixpoint())
+            elif isinstance(delta, WithdrawDelta):
+                self.withdraw(delta.origin_asn, delta.prefix)
+                self._mark_dirty(delta.origin_asn, delta.prefix)
+                stats_list.append(self.run_to_fixpoint())
+            elif isinstance(delta, LocalprefEdit):
+                self._apply_localpref_edit(delta)
+                stats_list.append(self.run_to_fixpoint())
+            elif isinstance(delta, LinkFlap):
+                # Down and up reconverge separately, matching how
+                # outage plans and fault flaps replay (two records,
+                # two fixpoints).
+                if delta.action in ("down", "flap"):
+                    self.set_link_down(delta.a, delta.b)
+                    stats_list.append(self.run_to_fixpoint())
+                if delta.action in ("up", "flap"):
+                    self.set_link_up(delta.a, delta.b)
+                    stats_list.append(self.run_to_fixpoint())
+            else:
+                raise EngineError(
+                    "unknown delta type %r" % type(delta).__name__
+                )
+        finally:
+            dirty, self._dirty = self._dirty, None
+            touched, self._touched = self._touched, None
+        outcome = DeltaOutcome(
+            delta=delta,
+            stats=stats_list,
+            dirty_prefixes=tuple(sorted(str(p) for p in dirty)),
+            touched_ases=len(touched),
+        )
+        trace_ring = active_frontier()
+        if trace_ring is not None:
+            trace_ring.record(
+                {
+                    "kind": "engine_delta",
+                    "delta": delta.kind,
+                    "dirty_prefixes": len(dirty),
+                    "sample": list(outcome.dirty_prefixes[:8]),
+                    "touched_ases": outcome.touched_ases,
+                    "runs": len(stats_list),
+                    "messages_delivered": outcome.messages_delivered,
+                    "best_changes": outcome.best_changes,
+                }
+            )
+        return outcome
+
+    def _apply_localpref_edit(self, delta: LocalprefEdit) -> None:
+        if not self.topology.has_link(delta.asn, delta.neighbor_asn):
+            raise EngineError(
+                "no session %d-%d to reprice"
+                % (delta.asn, delta.neighbor_asn)
+            )
+        self.topology.node(delta.asn).policy.set_neighbor_localpref(
+            delta.neighbor_asn, delta.value
+        )
+        router = self.router(delta.asn)
+        rel = self.topology.rel(delta.asn, delta.neighbor_asn)
+        for prefix, change in router.reprice_neighbor(delta.neighbor_asn, rel):
+            self._record_change(delta.asn, prefix, change.new)
+            self._export_after_change(delta.asn, prefix)
+
+    def rib_state(self, prefix: Optional[Prefix] = None) -> tuple:
+        """Canonical, comparable dump of every adj-RIB-in and loc-RIB.
+
+        Route ages are included — two states are equal only if they are
+        byte-identical, which is exactly the warm-vs-cold differential
+        contract.  Empty adj-RIB shells (a prefix fully withdrawn
+        again) are skipped so warm and cold engines with different
+        lazily-created dict shapes still compare equal.
+        """
+        rows = []
+        for asn in sorted(self.routers):
+            router = self.routers[asn]
+            for pfx in sorted(router.adj_rib_in):
+                if prefix is not None and pfx != prefix:
+                    continue
+                rib = router.adj_rib_in[pfx]
+                best = router.loc_rib.get(pfx)
+                if not rib and best is None:
+                    continue
+                rows.append(
+                    (
+                        asn,
+                        str(pfx),
+                        tuple(
+                            (nbr,) + _route_state(rib[nbr])
+                            for nbr in sorted(rib)
+                        ),
+                        _route_state(best) if best is not None else None,
+                    )
+                )
+        return tuple(rows)
+
+    def audit_decision_groups(self) -> List[str]:
+        """Cross-check every router's array-backend group mirrors
+        against its adj-RIB-in (empty when consistent; always empty on
+        the object backend)."""
+        problems: List[str] = []
+        for asn in sorted(self.routers):
+            problems.extend(self.routers[asn].audit_groups())
+        return problems
+
+    def _mark_dirty(self, asn: int, prefix: Prefix) -> None:
+        if self._dirty is not None:
+            self._dirty.add(prefix)
+            self._touched.add(asn)
+
     def run_to_fixpoint(self) -> ConvergenceStats:
         """Deliver queued messages until the network is quiet."""
+        # A failed run (dispute-wheel cap, crash mid-delivery) must not
+        # leave the previous run's stats visible as if they were this
+        # run's.
+        self.last_stats = None
         stats = ConvergenceStats(
             started_at=self.now, message_limit=self._message_limit
         )
@@ -488,6 +776,9 @@ class PropagationEngine:
     def _record_change(
         self, asn: int, prefix: Prefix, route: Optional[Route]
     ) -> None:
+        # Dirty tracking first: apply_delta measures its frontier even
+        # when update-log recording is disabled.
+        self._mark_dirty(asn, prefix)
         if self.record_best_changes:
             self.update_log.append(
                 UpdateEvent(time=self.now, asn=asn, prefix=prefix, route=route)

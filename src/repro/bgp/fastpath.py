@@ -64,6 +64,7 @@ def propagate_fastpath(
     prefix: Optional[Prefix] = None,
     roa_table=None,
     decision_backend: Optional[str] = None,
+    down_links: Optional[Iterable[frozenset]] = None,
 ) -> FastpathResult:
     """Compute every AS's converged best route for one prefix.
 
@@ -71,7 +72,10 @@ def propagate_fastpath(
     *decision_backend* picks the selection implementation ("object" or
     "array"; see :mod:`repro.bgp.arraytable`) and defaults to the
     active ``use_decision_backend`` context; both produce identical
-    results.
+    results.  *down_links* (an iterable of two-ASN frozensets, matching
+    the engine's failed-link set) excludes those adjacencies from
+    propagation, so the fastpath can oracle the engine's post-flap
+    state too.
     """
     announcements = list(announcements)
     if not announcements:
@@ -88,6 +92,7 @@ def propagate_fastpath(
         if decision_backend is not None
         else active_decision_backend()
     )
+    failed: Set[frozenset] = set(down_links or ())
     result = FastpathResult(prefix=the_prefix)
     processes = {}
     # Array backend: per-receiver decision-key mirrors of the offers
@@ -152,6 +157,8 @@ def propagate_fastpath(
                 raise EngineError("fastpath failed to converge")
             best = result.best.get(asn)
             for neighbor in sorted(topology.neighbors(asn)):
+                if failed and frozenset((asn, neighbor)) in failed:
+                    continue
                 offered = _exported_route(
                     topology, asn, neighbor, best,
                     origin_announcements.get(asn),

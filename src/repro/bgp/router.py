@@ -9,7 +9,7 @@ route for the affected prefix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..netutil import Prefix
@@ -144,6 +144,31 @@ class Router:
             self._group(prefix).set(neighbor_asn, route)
         return self._reselect(prefix, now=now)
 
+    def reprice_neighbor(
+        self, neighbor_asn: int, rel: Rel
+    ) -> List[Tuple[Prefix, BestChange]]:
+        """Re-apply import localpref to every installed route from
+        *neighbor_asn* (after a policy edit) and return the per-prefix
+        best changes.  Repricing preserves route age — only the
+        localpref attribute is replaced, so the OLDEST_ROUTE tiebreak
+        is unaffected."""
+        changes: List[Tuple[Prefix, BestChange]] = []
+        for prefix, rib in self.adj_rib_in.items():
+            route = rib.get(neighbor_asn)
+            if route is None:
+                continue
+            localpref = self.policy.localpref_for(neighbor_asn, rel)
+            if route.localpref == localpref:
+                continue
+            repriced = replace(route, localpref=localpref)
+            rib[neighbor_asn] = repriced
+            if self._groups is not None:
+                self._group(prefix).set(neighbor_asn, repriced)
+            change = self._reselect(prefix)
+            if change.changed:
+                changes.append((prefix, change))
+        return changes
+
     def drop_neighbor(self, neighbor_asn: int) -> List[Tuple[Prefix, BestChange]]:
         """Remove every adj-RIB-in entry from *neighbor_asn* (session
         failure) and return the per-prefix best changes."""
@@ -186,6 +211,28 @@ class Router:
             rib[nbr] for nbr in sorted(set(neighbor_asns)) if nbr in rib
         ]
         return self.process.best(candidates)
+
+    def audit_groups(self) -> List[str]:
+        """Cross-check array-backend group mirrors against the
+        adj-RIB-in (empty when consistent, or on the object backend).
+        Guards the swap-remove bookkeeping: a ghost row that survived a
+        withdraw/re-announce cycle shows up here."""
+        problems: List[str] = []
+        if self._groups is None:
+            return problems
+        for prefix, group in sorted(self._groups.items()):
+            expected = sorted(self.adj_rib_in.get(prefix, {}))
+            actual = group.neighbors()
+            if expected != actual:
+                problems.append(
+                    "AS %d %s: group rows %r != adj-RIB-in %r"
+                    % (self.asn, prefix, actual, expected)
+                )
+            problems.extend(
+                "AS %d %s: %s" % (self.asn, prefix, issue)
+                for issue in group.audit()
+            )
+        return problems
 
     # ----- internals ------------------------------------------------------
 

@@ -43,6 +43,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -232,6 +233,39 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="population scale (1.0 = paper size)")
     explain.add_argument(
         "--experiment", choices=("surf", "internet2"), default="surf",
+    )
+
+    whatif = sub.add_parser(
+        "whatif", parents=[run_options, obs_options],
+        help="answer warm what-if queries (catchment per config, "
+             "policy/link deltas) against one converged session",
+    )
+    whatif.add_argument("--scale", type=float, default=0.1,
+                        help="population scale (1.0 = paper size)")
+    whatif.add_argument(
+        "--experiment", choices=("surf", "internet2"), default="surf",
+    )
+    whatif.add_argument(
+        "--config", default=None, metavar="LABEL",
+        help="prepend configuration to query, e.g. 2-0 (default: the "
+             "schedule's first; the warm session steps forward in "
+             "canonical order and keeps earlier configs queryable)",
+    )
+    whatif.add_argument(
+        "--prefix", action="append", default=None, metavar="PFX",
+        help="probed prefix to predict (repeatable; default: "
+             "summarise every studied prefix)",
+    )
+    whatif.add_argument(
+        "--delta", action="append", default=None, metavar="SPEC",
+        help="what-if delta applied after the baseline prediction "
+             "and re-predicted warm, e.g. prepend:re=3, "
+             "localpref:64512:64513=150, flap:64512-64513, "
+             "withdraw:commodity (repeatable, applied in order)",
+    )
+    whatif.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="per-prefix rows to print when summarising (default: 20)",
     )
 
     sweep = sub.add_parser(
@@ -807,6 +841,104 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _print_predictions(title, predictions, limit) -> None:
+    """Deterministic what-if output: signal tallies, then per-prefix
+    rows (capped at *limit*; 0 suppresses them)."""
+    counts: dict = {}
+    for prediction in predictions:
+        counts[prediction.signal] = counts.get(prediction.signal, 0) + 1
+    print("%s @ %s: %d prefix(es)" % (
+        title, predictions[0].config if predictions else "-",
+        len(predictions),
+    ))
+    for signal in ("re", "commodity", "both", "none"):
+        if counts.get(signal):
+            print("  %-10s %6d" % (signal, counts[signal]))
+    shown = predictions[: max(0, limit)]
+    for prediction in shown:
+        print("  %-22s %s" % (prediction.prefix, prediction.signal))
+    if len(predictions) > len(shown):
+        print("  ... %d more" % (len(predictions) - len(shown)))
+
+
+def _cmd_whatif(args) -> int:
+    from .whatif import WhatIfSession, parse_delta
+
+    _configure_obs(args)
+    problem = _check_output_paths(
+        args.metrics_out, args.provenance_out, args.trace_out,
+        args.telemetry_out, args.frontier_out, args.profile_out,
+    ) or _validate_run_args(args)
+    if problem is None and args.limit < 0:
+        problem = "--limit must be >= 0"
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    try:
+        spec = _build_spec(args, experiment=args.experiment)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    frontier = _enable_frontier(args)
+    sampler = _start_telemetry(args)
+    started = time.perf_counter()
+    try:
+        session = WhatIfSession(spec)
+        if args.config:
+            session.advance_to_config(args.config)
+        warm_seconds = time.perf_counter() - started
+        prefixes = args.prefix or [
+            str(plan.prefix)
+            for plan in sorted(
+                session.ecosystem.studied_prefixes(),
+                key=lambda plan: (plan.prefix.network, plan.prefix.length),
+            )
+        ]
+        query_start = time.perf_counter()
+        _print_predictions(
+            "baseline", session.predict_batch(prefixes), args.limit
+        )
+        for delta_text in args.delta or ():
+            delta = parse_delta(delta_text, session)
+            outcome = session.apply(delta)
+            print(
+                "applied %s: dirty_prefixes=%d touched_ases=%d "
+                "runs=%d messages=%d"
+                % (
+                    delta_text, len(outcome.dirty_prefixes),
+                    outcome.touched_ases, len(outcome.stats),
+                    outcome.messages_delivered,
+                )
+            )
+        if args.delta:
+            _print_predictions(
+                "after-deltas", session.predict_batch(prefixes),
+                args.limit,
+            )
+        query_seconds = time.perf_counter() - query_start
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        _stop_telemetry(sampler)
+    # Wall timings are execution metadata: stderr, not the
+    # deterministic stdout report.
+    print(
+        "warm-up %.2fs; %d warm quer%s in %.1fms"
+        % (
+            warm_seconds, len(prefixes),
+            "y" if len(prefixes) == 1 else "ies",
+            query_seconds * 1e3,
+        ),
+        file=sys.stderr,
+    )
+    _write_metrics(args)
+    if frontier is not None:
+        _export_frontier(frontier, args.frontier_out)
+    _write_trace(args)
+    return 0
+
+
 _SIGNAL_TABLE = {
     "re": RoundSignal.RE,
     "commodity": RoundSignal.COMMODITY,
@@ -955,6 +1087,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "classify": _cmd_classify,
         "explain": _cmd_explain,
+        "whatif": _cmd_whatif,
         "age-model": _cmd_age_model,
         "funnel": _cmd_funnel,
         "status": _cmd_status,

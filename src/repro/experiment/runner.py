@@ -28,7 +28,13 @@ from ..bgp.arraytable import (
     use_decision_backend,
     validate_backend,
 )
-from ..bgp.engine import PropagationEngine, UpdateEvent
+from ..bgp.engine import (
+    AnnounceDelta,
+    LinkFlap,
+    PrependChange,
+    PropagationEngine,
+    UpdateEvent,
+)
 from ..errors import ExperimentError
 from ..faults import FaultKind, FaultPlan
 from ..obs import get_logger, get_registry, span
@@ -218,13 +224,12 @@ class ExperimentRunner:
                         (change_time, config_label)
                     )
                     if re_p != previous[0]:
-                        stats = self._announce(engine, re_origin, re_p,
-                                               "re", result)
+                        stats = self._reconfigure(engine, re_origin, re_p)
                         result.convergence.append(stats)
                         round_stats.append(stats)
                     if comm_p != previous[1]:
-                        stats = self._announce(engine, commodity_origin,
-                                               comm_p, "commodity", result)
+                        stats = self._reconfigure(engine, commodity_origin,
+                                                  comm_p)
                         result.convergence.append(stats)
                         round_stats.append(stats)
                     next_probe_at = change_time + schedule.soak_seconds
@@ -420,13 +425,31 @@ class ExperimentRunner:
         tag: str,
         result: ExperimentResult,
     ):
-        engine.announce(
-            origin,
-            self.ecosystem.measurement_prefix,
+        outcome = engine.apply_delta(AnnounceDelta(
+            origin_asn=origin,
+            prefix=self.ecosystem.measurement_prefix,
             default_prepends=prepends,
             tag=tag,
-        )
-        return engine.run_to_fixpoint()
+        ))
+        return outcome.stats[0]
+
+    def _reconfigure(
+        self,
+        engine: PropagationEngine,
+        origin: int,
+        prepends: int,
+    ):
+        """Step one side's prepend count as a warm delta: the converged
+        state stays in place and only the re-announcement's frontier
+        re-propagates (byte-identical to the former full re-announce —
+        the engine is incremental either way; the delta additionally
+        measures the dirty set)."""
+        outcome = engine.apply_delta(PrependChange(
+            origin_asn=origin,
+            prefix=self.ecosystem.measurement_prefix,
+            prepends=prepends,
+        ))
+        return outcome.stats[0]
 
     def _systems_by_address(self) -> Dict[int, SystemPlan]:
         systems: Dict[int, SystemPlan] = {}
@@ -446,8 +469,10 @@ class ExperimentRunner:
             if outage.experiment != self.experiment:
                 continue
             if outage.down_after_round == round_index:
-                engine.set_link_down(outage.a, outage.b)
-                stats_list.append(engine.run_to_fixpoint())
+                outcome = engine.apply_delta(
+                    LinkFlap(outage.a, outage.b, action="down")
+                )
+                stats_list.append(outcome.stats[0])
                 result.convergence.append(stats_list[-1])
                 result.outages_applied.append(
                     OutageRecord(round_index, "down", outage.a, outage.b,
@@ -455,8 +480,10 @@ class ExperimentRunner:
                 )
                 self._note_outage(round_index, "down", outage)
             if outage.up_after_round == round_index:
-                engine.set_link_up(outage.a, outage.b)
-                stats_list.append(engine.run_to_fixpoint())
+                outcome = engine.apply_delta(
+                    LinkFlap(outage.a, outage.b, action="up")
+                )
+                stats_list.append(outcome.stats[0])
                 result.convergence.append(stats_list[-1])
                 result.outages_applied.append(
                     OutageRecord(round_index, "up", outage.a, outage.b,
@@ -488,15 +515,17 @@ class ExperimentRunner:
             if engine.link_is_down(link.a, link.b):
                 continue
             registry.counter("runner.faults_injected").inc()
-            for action, toggle in (
-                ("flap-down", engine.set_link_down),
-                ("flap-up", engine.set_link_up),
+            for record_action, delta_action in (
+                ("flap-down", "down"),
+                ("flap-up", "up"),
             ):
-                toggle(link.a, link.b)
-                stats_list.append(engine.run_to_fixpoint())
+                outcome = engine.apply_delta(
+                    LinkFlap(link.a, link.b, action=delta_action)
+                )
+                stats_list.append(outcome.stats[0])
                 result.convergence.append(stats_list[-1])
                 result.outages_applied.append(OutageRecord(
-                    round_index, action, link.a, link.b, link.a
+                    round_index, record_action, link.a, link.b, link.a
                 ))
             _log.info(
                 "fault link flap applied",

@@ -227,3 +227,96 @@ def test_use_decision_backend_context_nests_and_validates():
     with pytest.raises(PolicyError, match="decision backend"):
         with use_decision_backend("simd"):
             pass
+
+
+# Swap-remove ghost rows (PR 9): a mutated group must be
+# indistinguishable from a fresh encode of its surviving routes.
+
+
+@st.composite
+def op_sequence(draw):
+    """A random set/remove workload over a small neighbor space, with
+    removes biased toward neighbors that were actually inserted so the
+    swap-remove path (move-last-into-hole) is exercised constantly."""
+    n_ops = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    inserted = []
+    for _ in range(n_ops):
+        neighbor = draw(st.integers(min_value=1, max_value=8))
+        if inserted and draw(st.booleans()):
+            ops.append(("remove", draw(st.sampled_from(inserted))))
+        else:
+            ops.append(("set", neighbor, draw(st.sampled_from([100, 200])),
+                        draw(st.integers(min_value=1, max_value=3))))
+            inserted.append(neighbor)
+    return ops
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=op_sequence(), variant=st.integers(min_value=0, max_value=3))
+def test_mutated_group_equals_fresh_encode(ops, variant):
+    """Round-trip law behind the delta engine: any interleaving of
+    set/remove leaves the group byte-identical (canonical ``state()``,
+    ``neighbors()``, ``best()``, clean ``audit()``) to a fresh group
+    holding only the surviving routes.  A ghost row left behind by a
+    buggy swap-remove breaks this immediately."""
+    process = VARIANTS[variant]
+    group = ArrayRibGroup(process.steps)
+    mirror = {}
+    for op in ops:
+        if op[0] == "remove":
+            group.remove(op[1])
+            mirror.pop(op[1], None)
+        else:
+            _, neighbor, localpref, path_len = op
+            route = _route(
+                learned_from=neighbor,
+                localpref=localpref,
+                path=ASPath(tuple(range(100, 100 + path_len))),
+            )
+            group.set(neighbor, route)
+            mirror[neighbor] = route
+
+    fresh = ArrayRibGroup(process.steps)
+    for neighbor in sorted(mirror):
+        fresh.set(neighbor, mirror[neighbor])
+
+    assert group.audit() == []
+    assert fresh.audit() == []
+    assert len(group) == len(mirror)
+    assert group.neighbors() == fresh.neighbors() == sorted(mirror)
+    assert group.state() == fresh.state()
+    try:
+        expected = fresh.best()
+    except PolicyError:
+        with pytest.raises(PolicyError):
+            group.best()
+    else:
+        assert group.best() is expected
+
+
+def test_announce_withdraw_reannounce_leaves_no_ghost_row():
+    """The exact engine lifecycle behind WithdrawDelta + AnnounceDelta:
+    after a withdraw empties the group, the re-announced route must be
+    the only row — swap-remove may not leave the withdrawn key behind
+    to shadow the decision."""
+    process = VARIANTS[0]
+    group = ArrayRibGroup(process.steps)
+    first = _route(learned_from=4, localpref=200)
+    rival = _route(learned_from=6)
+    group.set(4, first)
+    group.set(6, rival)
+    assert group.best() is first
+    group.remove(4)   # withdraw: swap-remove moves row 6 into row 0
+    assert group.neighbors() == [6]
+    assert group.best() is rival
+    readvertised = _route(learned_from=4, localpref=50)
+    group.set(4, readvertised)  # re-announce at a *worse* preference
+    assert group.neighbors() == [4, 6]
+    assert group.best() is rival, "ghost row resurrected the old route"
+    assert group.audit() == []
+
+    fresh = ArrayRibGroup(process.steps)
+    fresh.set(4, readvertised)
+    fresh.set(6, rival)
+    assert group.state() == fresh.state()

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bgp.engine import PropagationEngine
+from repro.bgp.engine import (
+    AnnounceDelta,
+    LinkFlap,
+    LocalprefEdit,
+    PrependChange,
+    PropagationEngine,
+    WithdrawDelta,
+)
 from repro.errors import EngineError
 from repro.netutil import Prefix
 from repro.rng import SeedTree
@@ -363,3 +370,185 @@ class TestBookkeeping:
         engine.announce(1, PFX, tag="commodity")
         engine.run_to_fixpoint()
         assert engine.best_route(2, PFX) is not None
+
+
+class TestApplyDelta:
+    """Unit coverage of the warm-delta API (the differential layer
+    proves byte-identity at experiment scale; these pin the local
+    semantics)."""
+
+    def test_announce_delta_installs_and_measures(self):
+        engine = engine_for(chain_topology())
+        outcome = engine.apply_delta(AnnounceDelta(1, PFX, tag="t"))
+        assert engine.best_route(3, PFX).origin_asn == 1
+        assert outcome.dirty_prefixes == (str(PFX),)
+        assert outcome.touched_ases >= 3  # origin + transit + leaf
+        assert len(outcome.stats) == 1
+        assert outcome.stats[0].replay_key() == \
+            engine.last_stats.replay_key()
+
+    def test_prepend_change_reuses_announcement(self):
+        engine = engine_for(chain_topology())
+        engine.apply_delta(AnnounceDelta(1, PFX, tag="t"))
+        engine.apply_delta(PrependChange(1, PFX, prepends=2))
+        route = engine.best_route(2, PFX)
+        assert route.path.asns == (1, 1, 1)
+        assert route.tag == "t"  # tag survives the re-announce
+
+    def test_prepend_change_without_announcement_raises(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.apply_delta(PrependChange(1, PFX, prepends=2))
+
+    def test_withdraw_delta_clears_network(self):
+        engine = engine_for(chain_topology())
+        engine.apply_delta(AnnounceDelta(1, PFX))
+        outcome = engine.apply_delta(WithdrawDelta(1, PFX))
+        assert engine.best_route(3, PFX) is None
+        assert outcome.dirty_prefixes == (str(PFX),)
+
+    def test_link_flap_runs_two_fixpoints(self):
+        engine = engine_for(chain_topology())
+        engine.apply_delta(AnnounceDelta(1, PFX))
+        outcome = engine.apply_delta(LinkFlap(1, 2, action="flap"))
+        assert len(outcome.stats) == 2
+        assert engine.best_route(3, PFX) is not None
+        assert not engine.link_is_down(1, 2)
+
+    def test_link_flap_down_only(self):
+        engine = engine_for(chain_topology())
+        engine.apply_delta(AnnounceDelta(1, PFX))
+        outcome = engine.apply_delta(LinkFlap(1, 2, action="down"))
+        assert len(outcome.stats) == 1
+        assert engine.link_is_down(1, 2)
+        assert engine.best_route(3, PFX) is None
+
+    def test_link_flap_rejects_unknown_action(self):
+        with pytest.raises(EngineError):
+            LinkFlap(1, 2, action="wobble")
+
+    def test_localpref_edit_moves_best(self):
+        # Diamond: 4 learns PFX from providers 2 and 3; deprefer the
+        # currently-best one and the loc-RIB must switch.
+        topo = Topology()
+        for asn in (1, 2, 3, 4):
+            topo.add_as(asn, "as%d" % asn)
+        topo.add_provider(1, 2)
+        topo.add_provider(1, 3)
+        topo.add_provider(4, 2)
+        topo.add_provider(4, 3)
+        engine = PropagationEngine(topo, SeedTree(0))
+        engine.apply_delta(AnnounceDelta(1, PFX))
+        before = engine.best_route(4, PFX).learned_from
+        other = 3 if before == 2 else 2
+        outcome = engine.apply_delta(LocalprefEdit(4, before, value=10))
+        assert engine.best_route(4, PFX).learned_from == other
+        assert outcome.dirty_prefixes == (str(PFX),)
+
+    def test_localpref_edit_preserves_route_age(self):
+        topo = chain_topology()
+        engine = engine_for(topo)
+        engine.apply_delta(AnnounceDelta(1, PFX))
+        installed_at = engine.router(2).adj_rib_in[PFX][1].installed_at
+        engine.advance_to(engine.now + 500.0)
+        engine.apply_delta(LocalprefEdit(2, 1, value=250))
+        repriced = engine.router(2).adj_rib_in[PFX][1]
+        assert repriced.localpref == 250
+        assert repriced.installed_at == installed_at
+
+    def test_localpref_edit_unknown_session_raises(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.apply_delta(LocalprefEdit(1, 99, value=10))
+
+    def test_unknown_delta_type_raises(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.apply_delta(object())
+
+    def test_dirty_tracking_cleared_after_failure(self):
+        engine = engine_for(chain_topology())
+        with pytest.raises(EngineError):
+            engine.apply_delta(PrependChange(1, PFX, prepends=1))
+        # The accumulator guard must reset even on the error path.
+        outcome = engine.apply_delta(AnnounceDelta(1, PFX))
+        assert outcome.dirty_prefixes == (str(PFX),)
+
+    def test_dirty_tracking_without_update_log(self):
+        engine = PropagationEngine(
+            chain_topology(), SeedTree(0), record_best_changes=False
+        )
+        outcome = engine.apply_delta(AnnounceDelta(1, PFX))
+        assert engine.update_log == []
+        assert outcome.dirty_prefixes == (str(PFX),)
+        assert outcome.touched_ases >= 3
+
+    def test_rib_state_equal_for_equal_histories(self):
+        def build():
+            engine = engine_for(chain_topology(), seed=5)
+            engine.apply_delta(AnnounceDelta(1, PFX, tag="t"))
+            engine.apply_delta(PrependChange(1, PFX, prepends=1))
+            return engine
+        assert build().rib_state() == build().rib_state()
+        assert build().rib_state(PFX) == build().rib_state()
+
+    def test_delta_outcome_replay_key_deterministic(self):
+        def key():
+            engine = engine_for(chain_topology(), seed=5)
+            engine.apply_delta(AnnounceDelta(1, PFX))
+            return engine.apply_delta(LinkFlap(1, 2)).replay_key()
+        assert key() == key()
+
+
+class TestStaleStateRegression:
+    """PR 9 bugfix sweep: nothing carried between run_to_fixpoint
+    calls may leak one run's results into the next."""
+
+    def test_back_to_back_runs_match_fresh_engines(self):
+        """Two cold runs on one warm engine must equal the same runs
+        replayed on fresh engines, byte for byte."""
+        def history(engine, steps):
+            keys = []
+            if steps >= 1:
+                engine.announce(1, PFX, tag="a")
+                keys.append(engine.run_to_fixpoint().replay_key())
+            if steps >= 2:
+                engine.advance_to(engine.now + 10.0)
+                engine.announce(2, PFX, tag="b", default_prepends=1)
+                keys.append(engine.run_to_fixpoint().replay_key())
+            return keys
+
+        warm = engine_for(chain_topology(), seed=11)
+        warm_keys = history(warm, 2)
+
+        fresh_one = engine_for(chain_topology(), seed=11)
+        one_keys = history(fresh_one, 1)
+        fresh_two = engine_for(chain_topology(), seed=11)
+        two_keys = history(fresh_two, 2)
+
+        assert warm_keys[0] == one_keys[0]
+        assert warm_keys == two_keys
+        assert warm.rib_state() == fresh_two.rib_state()
+        assert warm.update_log == fresh_two.update_log
+        assert warm.session_message_counts == \
+            fresh_two.session_message_counts
+
+    def test_failed_run_leaves_no_stale_stats(self):
+        """A run that dies on the dispute-wheel cap must not leave the
+        previous run's stats posing as its own."""
+        engine = PropagationEngine(
+            chain_topology(), SeedTree(0), message_limit=2
+        )
+        engine.announce(1, PFX)
+        with pytest.raises(EngineError):
+            engine.run_to_fixpoint()
+        assert engine.last_stats is None
+
+    def test_empty_run_overwrites_last_stats(self):
+        engine = engine_for(chain_topology())
+        engine.announce(1, PFX)
+        first = engine.run_to_fixpoint()
+        assert engine.last_stats is first
+        second = engine.run_to_fixpoint()  # nothing queued
+        assert engine.last_stats is second
+        assert second.messages_delivered == 0

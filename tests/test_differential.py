@@ -24,7 +24,14 @@ from repro import (
     build_ecosystem,
     propagate_fastpath,
 )
-from repro.bgp.engine import PropagationEngine
+from repro.bgp.engine import (
+    AnnounceDelta,
+    LinkFlap,
+    LocalprefEdit,
+    PrependChange,
+    PropagationEngine,
+    WithdrawDelta,
+)
 from repro.core.classify import classify_experiment, origin_map
 from repro.core.explain import render_explanation
 from repro.core.report import reproduce_paper
@@ -582,3 +589,278 @@ class TestFrontierDifferential:
             )
         )
         assert faulted_jsonl == streams["object serial"]
+
+
+# ---------------------------------------------------------------------
+# Delta convergence (PR 9): warm apply_delta state against the cold
+# oracle, per delta kind, on both decision backends.
+
+DELTA_KINDS = ("announce", "prepend", "withdraw", "flap", "localpref")
+
+
+def _delta_engine(seed, scale, backend):
+    """A fresh ecosystem + engine pair (LocalprefEdit mutates policy
+    state shared through the topology, so warm and cold sides must
+    never share an ecosystem)."""
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    engine = PropagationEngine(
+        ecosystem.topology, SeedTree(seed), decision_backend=backend
+    )
+    return ecosystem, engine
+
+
+def _flap_link(ecosystem):
+    """A deterministic link to flap: the R&E origin's first adjacency."""
+    origin = ecosystem.re_origin_for("surf")
+    neighbor = sorted(ecosystem.topology.neighbors(origin))[0]
+    return origin, neighbor
+
+
+def _localpref_target(ecosystem, engine):
+    """A deterministic (asn, neighbor) pair where deprefering the
+    current best forces a switch: the lowest AS holding two routes
+    from distinct neighbors."""
+    prefix = ecosystem.measurement_prefix
+    for asn in sorted(engine.routers):
+        rib = engine.routers[asn].adj_rib_in.get(prefix, {})
+        neighbors = [n for n in sorted(rib) if n >= 0]
+        if len(neighbors) >= 2:
+            best = engine.best_route(asn, prefix)
+            if best is not None and best.learned_from in neighbors:
+                return asn, best.learned_from
+    raise AssertionError("scenario has no multi-route AS to reprice")
+
+
+def _baseline(ecosystem, engine, use_deltas):
+    """Phase 0/1 history: commodity soaks, then R&E at 4 prepends.
+    ``use_deltas`` picks the apply_delta path or the raw-call path —
+    both must produce byte-identical state."""
+    prefix = ecosystem.measurement_prefix
+    re_origin = ecosystem.re_origin_for("surf")
+    commodity = ecosystem.commodity_origin
+    stats = []
+    if use_deltas:
+        stats.extend(engine.apply_delta(AnnounceDelta(
+            commodity, prefix, tag="commodity")).stats)
+        engine.advance_to(600.0)
+        stats.extend(engine.apply_delta(AnnounceDelta(
+            re_origin, prefix, default_prepends=4, tag="re")).stats)
+    else:
+        engine.announce(commodity, prefix, tag="commodity")
+        stats.append(engine.run_to_fixpoint())
+        engine.advance_to(600.0)
+        engine.announce(re_origin, prefix, default_prepends=4, tag="re")
+        stats.append(engine.run_to_fixpoint())
+    engine.advance_to(engine.now + 60.0)
+    return stats
+
+
+def _apply_kind(ecosystem, engine, kind, use_deltas, localpref_target=None):
+    """One delta of *kind*, via apply_delta or via the raw calls the
+    engine exposed before the delta layer existed."""
+    prefix = ecosystem.measurement_prefix
+    re_origin = ecosystem.re_origin_for("surf")
+    if kind == "announce":
+        if use_deltas:
+            return engine.apply_delta(AnnounceDelta(
+                re_origin, prefix, default_prepends=2, tag="re")).stats
+        engine.announce(re_origin, prefix, default_prepends=2, tag="re")
+        return [engine.run_to_fixpoint()]
+    if kind == "prepend":
+        if use_deltas:
+            return engine.apply_delta(
+                PrependChange(re_origin, prefix, prepends=1)
+            ).stats
+        engine.announce(re_origin, prefix, default_prepends=1, tag="re")
+        return [engine.run_to_fixpoint()]
+    if kind == "withdraw":
+        if use_deltas:
+            stats = list(engine.apply_delta(
+                WithdrawDelta(re_origin, prefix)).stats)
+            stats.extend(engine.apply_delta(AnnounceDelta(
+                re_origin, prefix, default_prepends=3, tag="re")).stats)
+            return stats
+        engine.withdraw(re_origin, prefix)
+        stats = [engine.run_to_fixpoint()]
+        engine.announce(re_origin, prefix, default_prepends=3, tag="re")
+        stats.append(engine.run_to_fixpoint())
+        return stats
+    if kind == "flap":
+        a, b = _flap_link(ecosystem)
+        if use_deltas:
+            return engine.apply_delta(LinkFlap(a, b, action="flap")).stats
+        engine.set_link_down(a, b)
+        stats = [engine.run_to_fixpoint()]
+        engine.set_link_up(a, b)
+        stats.append(engine.run_to_fixpoint())
+        return stats
+    assert kind == "localpref"
+    asn, neighbor = localpref_target
+    if use_deltas:
+        return engine.apply_delta(LocalprefEdit(asn, neighbor, 10)).stats
+    # Raw path: the same policy edit through the router primitives.
+    engine.topology.node(asn).policy.set_neighbor_localpref(neighbor, 10)
+    router = engine.router(asn)
+    rel = engine.topology.rel(asn, neighbor)
+    for changed_prefix, change in router.reprice_neighbor(neighbor, rel):
+        engine._record_change(asn, changed_prefix, change.new)
+        engine._export_after_change(asn, changed_prefix)
+    return [engine.run_to_fixpoint()]
+
+
+class TestDeltaConvergence:
+    """Warm-delta convergence against the cold oracle, per delta kind
+    and decision backend.  Engine state (full RIB dump including route
+    ages), update logs, and per-run ``replay_key()``s must be
+    byte-identical; the runner-level workers-1/2/4 × backend grids
+    (``backend_case`` replay keys, ``frontier_case`` JSONL) now
+    exercise the same apply_delta path end to end."""
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    @pytest.mark.parametrize("kind", DELTA_KINDS)
+    def test_warm_delta_matches_cold_raw_path(self, kind, backend):
+        seed, scale = 0, 0.04
+        warm_eco, warm = _delta_engine(seed, scale, backend)
+        cold_eco, cold = _delta_engine(seed, scale, backend)
+        _baseline(warm_eco, warm, use_deltas=True)
+        _baseline(cold_eco, cold, use_deltas=False)
+        target = (
+            _localpref_target(warm_eco, warm)
+            if kind == "localpref" else None
+        )
+        warm_stats = _apply_kind(warm_eco, warm, kind, True, target)
+        cold_stats = _apply_kind(cold_eco, cold, kind, False, target)
+        assert [s.replay_key() for s in warm_stats] == \
+            [s.replay_key() for s in cold_stats]
+        assert warm.rib_state() == cold.rib_state()
+        assert warm.update_log == cold.update_log
+        assert warm.session_message_counts == cold.session_message_counts
+
+    @pytest.mark.parametrize("kind", DELTA_KINDS)
+    def test_object_and_array_backends_identical(self, kind):
+        seed, scale = 7, 0.04
+        states = {}
+        for backend in ("object", "array"):
+            ecosystem, engine = _delta_engine(seed, scale, backend)
+            _baseline(ecosystem, engine, use_deltas=True)
+            target = (
+                _localpref_target(ecosystem, engine)
+                if kind == "localpref" else None
+            )
+            stats = _apply_kind(ecosystem, engine, kind, True, target)
+            assert engine.audit_decision_groups() == []
+            states[backend] = (
+                [s.replay_key() for s in stats],
+                engine.rib_state(),
+                engine.update_log,
+            )
+        assert states["object"] == states["array"]
+
+    @pytest.mark.parametrize("kind", ["prepend", "localpref", "flap_down"])
+    def test_fastpath_oracles_warm_state(self, kind):
+        """An independent algorithm agrees with the warm engine at
+        fixpoint: the policy-aware Bellman-Ford, computed directly from
+        the post-delta policy/link state (age tie-breaking disabled, as
+        in TestFastpathOracle)."""
+        seed = 3
+        ecosystem = build_ecosystem(REEcosystemConfig(scale=0.04), seed=seed)
+        topology = ecosystem.topology
+        for asn in topology.nodes:
+            # Routers cache their DecisionProcess at construction, so
+            # the flag must flip before the engine is built.
+            topology.node(asn).policy.age_tiebreak = False
+        engine = PropagationEngine(topology, SeedTree(seed))
+        try:
+            prefix = ecosystem.measurement_prefix
+            re_origin = ecosystem.re_origin_for("surf")
+            commodity = ecosystem.commodity_origin
+            _baseline(ecosystem, engine, use_deltas=True)
+            if kind == "prepend":
+                engine.apply_delta(PrependChange(re_origin, prefix, 2))
+                re_prepends = 2
+            elif kind == "localpref":
+                target = _localpref_target(ecosystem, engine)
+                engine.apply_delta(LocalprefEdit(target[0], target[1], 10))
+                re_prepends = 4
+            else:
+                a, b = _flap_link(ecosystem)
+                engine.apply_delta(LinkFlap(a, b, action="down"))
+                re_prepends = 4
+            announcements = [
+                Announcement(prefix, re_origin,
+                             default_prepends=re_prepends, tag="re"),
+                Announcement(prefix, commodity, tag="commodity"),
+            ]
+            fast = propagate_fastpath(
+                topology, announcements,
+                down_links=engine._down_links,
+            )
+            for asn in sorted(topology.nodes):
+                slow = engine.best_route(asn, prefix)
+                quick = fast.route_at(asn)
+                slow_key = (slow.tag, slow.path.asns) if slow else None
+                quick_key = (quick.tag, quick.path.asns) if quick else None
+                assert slow_key == quick_key, \
+                    "AS %d: %r != %r" % (asn, slow_key, quick_key)
+        finally:
+            for asn in topology.nodes:
+                topology.node(asn).policy.age_tiebreak = True
+
+    def test_delta_events_identical_across_workers_and_backends(
+        self, frontier_case
+    ):
+        """The runner now narrates every announce/reconfig/outage as an
+        ``engine_delta`` frontier event; the event stream — dirty-set
+        sizes included — is byte-identical across backends and workers
+        1/2/4 (the full-stream identity test covers this too; this one
+        pins the delta events specifically and their shape)."""
+        _, serial, streams = frontier_case
+        def delta_events(jsonl):
+            return [
+                json.loads(line)
+                for line in jsonl.splitlines()
+                if '"engine_delta"' in line
+            ]
+        expected = delta_events(streams["object serial"])
+        assert expected, "runner emitted no engine_delta events"
+        kinds = {event["delta"] for event in expected}
+        assert "announce" in kinds
+        assert "prepend_change" in kinds
+        for event in expected:
+            assert event["dirty_prefixes"] >= len(event["sample"]) >= 0
+            assert event["runs"] >= 1
+            assert event["messages_delivered"] >= 0
+        for label, jsonl in streams.items():
+            if label == "object serial":
+                continue
+            assert delta_events(jsonl) == expected, label
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_whatif_session_matches_cold_replay(self, backend):
+        """The what-if facade's warm state equals its cold oracle
+        (fresh ecosystem, journal replayed from scratch) after config
+        steps and a free-form delta mix."""
+        from repro.api import ExperimentSpec, WhatIfSession
+
+        spec = ExperimentSpec(
+            seed=0, scale=0.04, decision_backend=backend
+        )
+        session = WhatIfSession(spec)
+        session.advance_to_config("2-0")
+        target = _localpref_target(session.ecosystem, session.engine)
+        session.apply(LocalprefEdit(target[0], target[1], 10))
+        session.apply(PrependChange(
+            session.re_origin,
+            session.ecosystem.measurement_prefix,
+            prepends=3,
+        ))
+        twin = session.replay_cold()
+        assert session.rib_state() == twin.rib_state()
+        assert session.engine.last_stats.replay_key() == \
+            twin.engine.last_stats.replay_key()
+        prefixes = [
+            plan.prefix
+            for plan in session.ecosystem.studied_prefixes()
+        ][:32]
+        assert session.predict_batch(prefixes) == \
+            twin.predict_batch(prefixes)
