@@ -60,10 +60,14 @@ from .experiment import (
     CampaignRunner,
     ExperimentRunner,
     plan_grid,
-    run_both_experiments,
     run_experiment_pair,
 )
-from .api import ExperimentSpec, run_experiment
+from .api import (
+    ExecutionPolicy,
+    ExperimentSpec,
+    run_campaign,
+    run_experiment,
+)
 from .core import (
     InferenceCategory,
     build_table1,
@@ -97,11 +101,12 @@ __all__ = [
     "build_ixp_scenario",
     "build_niks_scenario",
     "select_seeds",
+    "ExecutionPolicy",
     "ExperimentRunner",
     "ExperimentSpec",
     "run_experiment",
+    "run_campaign",
     "run_experiment_pair",
-    "run_both_experiments",
     "CampaignRunner",
     "plan_grid",
     "InferenceCategory",

@@ -1,33 +1,45 @@
-"""Stable Python API facade: :class:`ExperimentSpec` and
-:func:`run_experiment`.
+"""Stable Python API facade: :class:`ExperimentSpec`,
+:class:`ExecutionPolicy`, :func:`run_experiment`, and
+:func:`run_campaign` — the single canonical entry surface.
 
 Before this module, running one experiment meant threading ~9 keyword
 arguments through :class:`~repro.experiment.runner.ExperimentRunner` /
-:class:`~repro.experiment.parallel.ShardedRunner` /
-``run_both_experiments`` and keeping their seeding conventions in your
-head.  The facade freezes all of that into one immutable, serialisable
-value:
+:class:`~repro.experiment.parallel.ShardedRunner` and keeping their
+seeding conventions in your head.  The facade freezes all of that into
+one immutable, serialisable value:
 
 - :class:`ExperimentSpec` — everything that determines an experiment's
   result (seed, experiment, scenario/config overrides, schedule, pps)
-  plus everything that determines how it executes (workers, shard
-  size, timeouts, fault plan, provenance options).  Specs round-trip
-  through JSON (:meth:`ExperimentSpec.to_json` /
-  :meth:`ExperimentSpec.from_json`) and have a stable content hash
-  (:meth:`ExperimentSpec.digest`) that the campaign orchestrator uses
-  as its checkpoint key.
+  plus everything that determines how it executes (the nested
+  :class:`ExecutionPolicy`: workers, shard size, timeouts, retry
+  knobs, forced scheduler backend; plus fault plan and provenance
+  options).  Specs round-trip through JSON
+  (:meth:`ExperimentSpec.to_json` / :meth:`ExperimentSpec.from_json`)
+  and have a stable content hash (:meth:`ExperimentSpec.digest`) that
+  the campaign orchestrator uses as its checkpoint key.
 - :func:`run_experiment` — ``spec -> ExperimentResult``.  Results are
   a pure function of the spec's *simulation* fields; the execution
-  fields (``workers``, ``shard_size``, ``shard_timeout``, execution
-  faults) never change them (the PR 2/PR 4 identity contract).
+  policy (``workers``, ``shard_size``, ``shard_timeout``, retry
+  knobs, backend, execution faults) never changes them (the PR 2/PR 4
+  identity contract).
+- :func:`run_campaign` — ``grid -> CampaignResult``; the campaign
+  orchestrator behind one call, with checkpoint resume and scheduler
+  backend selection.
 
-Seeding convention (shared with ``run_both_experiments`` and ``repro
-explain``): ``spec.seed`` is the *base* seed — the ecosystem and the
-probe-seed plan derive from it directly, while the run itself uses
-``spec.run_seed`` (``seed`` for surf, ``seed + 1`` for internet2, as
-the paper ran the experiments a week apart with the same probe
-seeds).  Two specs differing only in ``experiment`` therefore form
-exactly the pair the paper compared in Table 2.
+Both entry points execute on :mod:`repro.experiment.scheduler`
+backends; the backend types (:class:`ExecutionBackend`,
+:class:`InlineBackend`, :class:`ForkPoolBackend`, plus the
+:class:`Task` / :class:`ResourceClaim` / :class:`RetryPolicy`
+vocabulary) are re-exported here so downstream code never imports the
+machinery module directly.
+
+Seeding convention (shared with ``repro explain``): ``spec.seed`` is
+the *base* seed — the ecosystem and the probe-seed plan derive from it
+directly, while the run itself uses ``spec.run_seed`` (``seed`` for
+surf, ``seed + 1`` for internet2, as the paper ran the experiments a
+week apart with the same probe seeds).  Two specs differing only in
+``experiment`` therefore form exactly the pair the paper compared in
+Table 2.
 """
 
 from __future__ import annotations
@@ -35,14 +47,27 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from dataclasses import InitVar, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from .bgp.arraytable import DECISION_BACKENDS
 from .errors import ExperimentError
 from .experiment.records import ExperimentResult
 from .experiment.runner import ExperimentRunner
 from .experiment.schedule import PREPEND_SEQUENCE, ExperimentSchedule
+from .experiment.scheduler import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_MAX_RETRIES,
+    ExecutionBackend,
+    ForkPoolBackend,
+    InlineBackend,
+    ResourceClaim,
+    RetryPolicy,
+    Scheduler,
+    SchedulerError,
+    Task,
+    TaskResult,
+)
 from .faults import FaultPlan, parse_fault_spec
 from .obs.provenance import (
     DEFAULT_CAPACITY,
@@ -59,10 +84,21 @@ from .topology.re_config import (
 from .topology.re_ecosystem import Ecosystem, build_ecosystem
 
 __all__ = [
+    "ExecutionBackend",
+    "ExecutionPolicy",
     "ExperimentSpec",
+    "ForkPoolBackend",
+    "InlineBackend",
     "Prediction",
+    "ResourceClaim",
+    "RetryPolicy",
+    "Scheduler",
+    "SchedulerError",
+    "Task",
+    "TaskResult",
     "WhatIfSession",
     "build_runner",
+    "run_campaign",
     "run_experiment",
     "SPEC_SCHEMA_VERSION",
 ]
@@ -71,8 +107,13 @@ __all__ = [
 #: campaign checkpoint written by an older schema never silently
 #: matches a newer spec's digest.  Version 2 added
 #: ``decision_backend``; version 3 added ``frontier_capacity`` and
-#: ``profile`` (convergence-frontier analytics / phase profiling).
-SPEC_SCHEMA_VERSION = 3
+#: ``profile`` (convergence-frontier analytics / phase profiling);
+#: version 4 nested the execution fields (``workers``, ``shard_size``,
+#: ``shard_timeout``, retry knobs, backend) under ``execution``
+#: (:class:`ExecutionPolicy`).  :meth:`ExperimentSpec.from_dict` still
+#: reads schema-3 documents, folding their flat execution keys into
+#: the nested policy.
+SPEC_SCHEMA_VERSION = 4
 
 _EXPERIMENTS = ("surf", "internet2")
 
@@ -102,6 +143,72 @@ def _thaw(value):
     return value
 
 
+_BACKEND_CHOICES = (None, "inline", "fork")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a spec executes — never what it computes.
+
+    Every field here is outside the identity contract: two specs whose
+    policies differ still produce byte-identical results (they digest
+    differently, because re-running a checkpointed campaign under a
+    different execution shape is a deliberate act worth a fresh cell).
+
+    ``workers`` is the probing fan-out; ``shard_size`` /
+    ``shard_timeout`` shape the per-round shards.  ``max_retries`` and
+    ``backoff_base`` are the execution-fault recovery knobs (retry a
+    crashed/hung shard up to *max_retries* times with exponential
+    backoff before falling back inline).  ``backend`` forces the
+    scheduler backend (``"inline"`` / ``"fork"``); ``None`` lets the
+    scheduler resolve one from ``workers`` and the platform.
+    """
+
+    workers: int = 1
+    shard_size: Optional[int] = None
+    shard_timeout: Optional[float] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base: float = DEFAULT_BACKOFF_BASE
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ExperimentError("shard_size must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ExperimentError("shard_timeout must be positive")
+        if self.max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ExperimentError("backoff_base must be >= 0")
+        if self.backend not in _BACKEND_CHOICES:
+            raise ExperimentError(
+                "backend must be 'inline' or 'fork', got %r"
+                % (self.backend,)
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            policy_field.name: getattr(self, policy_field.name)
+            for policy_field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                "unknown ExecutionPolicy field(s): %s" % ", ".join(unknown)
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes) -> "ExecutionPolicy":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One experiment, fully specified.
@@ -109,9 +216,12 @@ class ExperimentSpec:
     Simulation fields (change the result): ``experiment``, ``seed``,
     ``scale``, ``scenario``, ``config_overrides``, ``configs``,
     ``pps``, plus the *environment* faults in ``fault_spec``.
-    Execution fields (never change the result): ``workers``,
-    ``shard_size``, ``shard_timeout``, ``fault_spec``'s execution
-    faults, and the provenance options.
+    Execution fields (never change the result): the nested
+    ``execution`` :class:`ExecutionPolicy`, ``fault_spec``'s execution
+    faults, and the provenance options.  The flat ``workers`` /
+    ``shard_size`` / ``shard_timeout`` constructor keywords are
+    legacy spellings folded into ``execution`` (and still readable as
+    properties).
 
     ``config_overrides`` holds :class:`REEcosystemConfig` field
     overrides; pass a dict, it is normalised to a sorted item tuple so
@@ -134,9 +244,7 @@ class ExperimentSpec:
     #: computed under different backends checkpoint separately and the
     #: identity stays independently checkable.
     decision_backend: str = "object"
-    workers: int = 1
-    shard_size: Optional[int] = None
-    shard_timeout: Optional[float] = None
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     fault_spec: str = ""
     provenance_capacity: Optional[int] = None
     provenance_prefixes: Tuple[str, ...] = field(default=())
@@ -150,8 +258,37 @@ class ExperimentSpec:
     #: and attach its payload as ``result.profile``.  Execution
     #: metadata only (timings), outside the identity contract.
     profile: bool = False
+    #: Legacy flat execution keywords, accepted for source
+    #: compatibility and folded into ``execution``.  They are
+    #: init-only: the canonical storage (and the serialised form) is
+    #: the nested policy.
+    workers: InitVar[Optional[int]] = None
+    shard_size: InitVar[Optional[int]] = None
+    shard_timeout: InitVar[Optional[float]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        workers: Optional[int],
+        shard_size: Optional[int],
+        shard_timeout: Optional[float],
+    ) -> None:
+        # Fold the legacy flat keywords into the nested policy first,
+        # so the policy's own validation sees the effective values.
+        if isinstance(self.execution, Mapping):
+            object.__setattr__(
+                self, "execution", ExecutionPolicy.from_dict(self.execution)
+            )
+        legacy: Dict[str, Any] = {}
+        if workers is not None:
+            legacy["workers"] = workers
+        if shard_size is not None:
+            legacy["shard_size"] = shard_size
+        if shard_timeout is not None:
+            legacy["shard_timeout"] = shard_timeout
+        if legacy:
+            object.__setattr__(
+                self, "execution", self.execution.replace(**legacy)
+            )
         # Normalise sequence-ish inputs so from_json(to_json(s)) == s.
         # dict() accepts both a mapping and an item sequence, so every
         # spelling of the same overrides canonicalises to one sorted
@@ -181,12 +318,6 @@ class ExperimentSpec:
             )
         if self.pps < 1:
             raise ExperimentError("pps must be >= 1")
-        if self.workers < 1:
-            raise ExperimentError("workers must be >= 1")
-        if self.shard_size is not None and self.shard_size < 1:
-            raise ExperimentError("shard_size must be >= 1")
-        if self.shard_timeout is not None and self.shard_timeout <= 0:
-            raise ExperimentError("shard_timeout must be positive")
         if (
             self.provenance_capacity is not None
             and self.provenance_capacity < 1
@@ -269,26 +400,37 @@ class ExperimentSpec:
             value = getattr(self, spec_field.name)
             if spec_field.name == "config_overrides":
                 value = _thaw(dict(value)) if value else {}
+            elif spec_field.name == "execution":
+                value = value.as_dict()
             elif isinstance(value, tuple):
                 value = list(value)
             out[spec_field.name] = value
         return out
 
+    #: Flat execution keys that schema-3 documents (and the legacy
+    #: constructor keywords) carry; folded into ``execution``.
+    _LEGACY_EXECUTION_KEYS = ("workers", "shard_size", "shard_timeout")
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         schema = data.get("schema", SPEC_SCHEMA_VERSION)
-        if schema != SPEC_SCHEMA_VERSION:
+        if schema not in (3, SPEC_SCHEMA_VERSION):
             raise ExperimentError(
-                "spec schema %r not supported (this build reads schema %d)"
-                % (schema, SPEC_SCHEMA_VERSION)
+                "spec schema %r not supported (this build reads schemas "
+                "3 and %d)" % (schema, SPEC_SCHEMA_VERSION)
             )
         known = {f.name for f in dataclasses.fields(cls)}
+        known.update(cls._LEGACY_EXECUTION_KEYS)
         unknown = sorted(set(data) - known - {"schema"})
         if unknown:
             raise ExperimentError(
                 "unknown ExperimentSpec field(s): %s" % ", ".join(unknown)
             )
         kwargs = {k: v for k, v in data.items() if k in known}
+        if isinstance(kwargs.get("execution"), Mapping):
+            kwargs["execution"] = ExecutionPolicy.from_dict(
+                kwargs["execution"]
+            )
         if kwargs.get("configs") is not None:
             kwargs["configs"] = tuple(kwargs["configs"])
         return cls(**kwargs)
@@ -316,12 +458,41 @@ class ExperimentSpec:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def replace(self, **changes) -> "ExperimentSpec":
-        """A copy with *changes* applied (re-validated)."""
-        return dataclasses.replace(self, **changes)
+        """A copy with *changes* applied (re-validated).
+
+        Accepts the legacy flat execution keywords too
+        (``spec.replace(workers=4)`` folds into ``execution``).
+        Hand-written rather than :func:`dataclasses.replace` because
+        the latter insists on values for init-only fields.
+        """
+        kwargs = {
+            spec_field.name: getattr(self, spec_field.name)
+            for spec_field in dataclasses.fields(self)
+            if spec_field.init
+        }
+        kwargs.update(changes)
+        return type(self)(**kwargs)
 
     def label(self) -> str:
         """Human-readable cell label for logs/spans."""
         return "%s/seed%d/%s" % (self.experiment, self.seed, self.scenario)
+
+
+# Legacy read access: ``spec.workers`` and friends delegate to the
+# nested policy.  Assigned after decoration — the dataclass captured
+# the init-only defaults into ``__init__`` at decoration time, so
+# replacing the class attributes with properties is safe and keeps
+# every existing call site (CLI, campaign, tests) reading the
+# effective values.
+ExperimentSpec.workers = property(  # type: ignore[assignment]
+    lambda self: self.execution.workers
+)
+ExperimentSpec.shard_size = property(  # type: ignore[assignment]
+    lambda self: self.execution.shard_size
+)
+ExperimentSpec.shard_timeout = property(  # type: ignore[assignment]
+    lambda self: self.execution.shard_timeout
+)
 
 
 # ---------------------------------------------------------------------
@@ -336,6 +507,7 @@ def build_runner(
     schedule: Optional[ExperimentSchedule] = None,
     fault_plan: Optional[FaultPlan] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentRunner:
     """Construct the runner a spec calls for.
 
@@ -345,13 +517,15 @@ def build_runner(
     pass them to reuse an existing ecosystem (the campaign pair
     dispatcher does, preserving shared-object identity).  *schedule* /
     *fault_plan* override the spec's derived objects; *workers*
-    overrides ``spec.workers`` (the campaign orchestrator throttles
-    cells to serial probing while its own pool is busy).
+    overrides ``spec.execution.workers`` (the campaign orchestrator
+    throttles cells to serial probing while its own pool is busy);
+    *backend* overrides ``spec.execution.backend``.
 
-    Serial :class:`ExperimentRunner` when nothing needs sharding;
-    :class:`~repro.experiment.parallel.ShardedRunner` when workers > 1,
-    a shard size/timeout is set, or a fault plan exists (execution
-    faults need shard executions to attack).
+    Serial :class:`ExperimentRunner` when nothing needs sharding or a
+    scheduler backend; :class:`~repro.experiment.parallel
+    .ShardedRunner` when workers > 1, a shard size/timeout is set, a
+    fault plan exists (execution faults need shard executions to
+    attack), or a backend is forced.
     """
     if ecosystem is None:
         ecosystem = build_ecosystem(spec.ecosystem_config(), seed=spec.seed)
@@ -363,11 +537,19 @@ def build_runner(
         schedule = spec.schedule()
     if fault_plan is None:
         fault_plan = spec.fault_plan()
-    effective_workers = spec.workers if workers is None else workers
+    policy = spec.execution
+    effective_workers = policy.workers if workers is None else workers
+    effective_backend = policy.backend if backend is None else backend
+    if effective_backend not in _BACKEND_CHOICES:
+        raise ExperimentError(
+            "backend must be 'inline' or 'fork', got %r"
+            % (effective_backend,)
+        )
     if (
         effective_workers == 1
-        and spec.shard_size is None
-        and spec.shard_timeout is None
+        and policy.shard_size is None
+        and policy.shard_timeout is None
+        and effective_backend is None
         and not fault_plan
     ):
         return ExperimentRunner(
@@ -380,9 +562,11 @@ def build_runner(
     return ShardedRunner(
         ecosystem, spec.experiment, seed=spec.run_seed,
         schedule=schedule, seed_plan=seed_plan, pps=spec.pps,
-        workers=effective_workers, shard_size=spec.shard_size,
-        shard_timeout=spec.shard_timeout, fault_plan=fault_plan,
+        workers=effective_workers, shard_size=policy.shard_size,
+        shard_timeout=policy.shard_timeout, fault_plan=fault_plan,
+        max_retries=policy.max_retries, backoff_base=policy.backoff_base,
         decision_backend=spec.decision_backend,
+        backend=effective_backend,
     )
 
 
@@ -392,14 +576,18 @@ def run_experiment(
     seed_plan: Optional[SeedPlan] = None,
     *,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     progress_hook: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one experiment from its spec; the facade entry point.
 
     The result is byte-identical for every value of the execution
-    fields (``workers``/``shard_size``/``shard_timeout`` and execution
-    faults) — the campaign orchestrator leans on this to run the same
-    spec serially, sharded, or as a pooled cell interchangeably.
+    policy (``workers``/``shard_size``/``shard_timeout``, retry knobs,
+    ``backend``, and execution faults) — the campaign orchestrator
+    leans on this to run the same spec serially, sharded, or as a
+    pooled cell interchangeably.  *backend* forces the scheduler
+    backend for this run (``"inline"`` / ``"fork"``), overriding
+    ``spec.execution.backend``.
 
     When the spec asks for provenance (``provenance_capacity`` /
     ``provenance_prefixes``) and no recorder is already active, a
@@ -424,7 +612,9 @@ def run_experiment(
     from .obs.profile import PhaseProfiler, active_profiler, use_profiling
     from .obs.provenance import active_recorder
 
-    runner = build_runner(spec, ecosystem, seed_plan, workers=workers)
+    runner = build_runner(
+        spec, ecosystem, seed_plan, workers=workers, backend=backend
+    )
     if progress_hook is not None:
         runner.progress_hook = progress_hook
     recorder = trace = profiler = None
@@ -449,6 +639,40 @@ def run_experiment(
     if profiler is not None:
         result.profile = profiler.as_payload()
     return result
+
+
+def run_campaign(
+    grid: Sequence[ExperimentSpec],
+    directory: str,
+    *,
+    pool_workers: int = 1,
+    resume: bool = True,
+    keep_results: bool = False,
+    backend: Optional[str] = None,
+):
+    """Run a campaign grid with digest-keyed resumable checkpoints;
+    the facade entry point for grids.
+
+    *grid* is a sequence of specs (see
+    :func:`repro.experiment.campaign.plan_grid`); digests must be
+    unique.  Completed cells checkpoint under ``<directory>/cells/``
+    and are skipped on re-runs while *resume* holds.  *pool_workers*
+    sets the campaign-level cell fan-out; *backend* forces the
+    scheduler backend for cell dispatch (``"inline"`` / ``"fork"``),
+    overriding the resolution from *pool_workers* and the platform.
+
+    Returns the :class:`~repro.experiment.campaign.CampaignResult`.
+    """
+    # Deferred: campaign imports this module for ExperimentSpec /
+    # ExecutionPolicy / build_runner, so the facade pulls the
+    # orchestrator in only at call time.
+    from .experiment.campaign import CampaignRunner
+
+    return CampaignRunner(
+        grid, directory,
+        pool_workers=pool_workers, resume=resume,
+        keep_results=keep_results, backend=backend,
+    ).run()
 
 
 # Re-exported at the bottom: repro.whatif imports ExperimentSpec from

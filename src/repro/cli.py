@@ -308,6 +308,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-resume", action="store_true",
         help="recompute every cell even when its checkpoint exists",
     )
+    sweep.add_argument(
+        "--backend", choices=("inline", "fork"), default=None,
+        help="force the scheduler backend for cell dispatch "
+             "(default: resolve from --campaign-workers and the "
+             "platform)",
+    )
 
     classify = sub.add_parser(
         "classify", help="classify prefixes from a JSONL results file"
@@ -737,6 +743,7 @@ def _cmd_sweep(args) -> int:
         specs, args.campaign_dir,
         pool_workers=args.campaign_workers,
         resume=not args.no_resume,
+        backend=args.backend,
     )
     sampler = _start_telemetry(args)
     try:

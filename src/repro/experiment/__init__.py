@@ -5,9 +5,14 @@
 - :mod:`repro.experiment.runner` — runs one experiment end to end:
   announcements, convergence, outage injection, probing rounds, feeder
   view capture;
+- :mod:`repro.experiment.scheduler` — the unified execution
+  scheduler: campaign cells and probing-round shards are both
+  :class:`Task` values with resource claims, run on pluggable backends
+  (:class:`InlineBackend`, :class:`ForkPoolBackend`);
 - :mod:`repro.experiment.parallel` — :class:`ShardedRunner`, which
-  fans probing rounds out across worker processes with byte-identical
-  results (see the module docstring's determinism contract);
+  fans probing rounds out across scheduler backends with
+  byte-identical results (see the module docstring's determinism
+  contract);
 - :mod:`repro.experiment.records` — result containers, including the
   shard/merge records of the parallel path;
 - :mod:`repro.experiment.campaign` — sweep orchestration: grids of
@@ -30,7 +35,18 @@ from .records import (
     ShardOutcome,
     ShardSpec,
 )
-from .runner import ExperimentRunner, run_both_experiments
+from .runner import ExperimentRunner
+from .scheduler import (
+    ExecutionBackend,
+    ForkPoolBackend,
+    InlineBackend,
+    ResourceClaim,
+    RetryPolicy,
+    Scheduler,
+    SchedulerError,
+    Task,
+    TaskResult,
+)
 from .parallel import ShardedRunner
 from .campaign import (
     CampaignResult,
@@ -62,5 +78,13 @@ __all__ = [
     "ShardOutcome",
     "ExperimentRunner",
     "ShardedRunner",
-    "run_both_experiments",
+    "ExecutionBackend",
+    "ForkPoolBackend",
+    "InlineBackend",
+    "ResourceClaim",
+    "RetryPolicy",
+    "Scheduler",
+    "SchedulerError",
+    "Task",
+    "TaskResult",
 ]

@@ -6,16 +6,20 @@ described by an :class:`~repro.api.ExperimentSpec`.  This module runs
 grids of cells three ways that all produce byte-identical cell
 results:
 
-- **inline** — cells run one after another in this process, exactly
-  as a standalone :func:`repro.api.run_experiment` would;
-- **pooled** — a campaign-level ``fork`` process pool dispatches whole
-  cells.  Cell workers run with isolated observability state and ship
-  back metrics snapshots, completed span trees, and provenance events,
-  which the parent merges *in cell order* so the merged streams match
-  the inline ones.  While the campaign pool is busy, cells are
-  throttled to serial probing (``inner workers = 1``): the shard pool
-  of PR 2 is reused inside a cell only when the campaign pool is idle,
-  so the machine never runs pools-inside-pools;
+- **inline** — cells run one after another in this process (the
+  scheduler's :class:`~repro.experiment.scheduler.InlineBackend`),
+  exactly as a standalone :func:`repro.api.run_experiment` would;
+- **pooled** — a campaign-level
+  :class:`~repro.experiment.scheduler.ForkPoolBackend` dispatches
+  whole cells as scheduler tasks.  Cell workers run with isolated
+  observability state and ship back metrics snapshots, completed span
+  trees, and provenance events, which the parent merges *in cell
+  order* so the merged streams match the inline ones.  While the
+  campaign pool is busy, cells are throttled to serial probing
+  (``inner workers = 1``) and carry no ``may_fork`` claim, so the
+  machine never runs unplanned pools-inside-pools — the never-nest
+  rule is enforced by the scheduler's resource claims, not by module
+  flags;
 - **resumed** — each completed cell persists a JSON record keyed by
   its spec digest under ``<campaign dir>/cells/``; re-invoking the
   campaign skips every cell whose checkpoint is present, recomputes
@@ -37,15 +41,13 @@ while preserving the shared probe-seed plan.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..api import ExperimentSpec, build_runner
+from ..api import ExecutionPolicy, ExperimentSpec, build_runner
 from ..core.classify import (
     TABLE1_ORDER,
     InferenceCategory,
@@ -79,9 +81,20 @@ from ..rng import SeedTree
 from ..seeds.selection import SeedPlan, select_seeds
 from ..topology.re_config import SCENARIO_PRESETS
 from ..topology.re_ecosystem import Ecosystem
-from .parallel import _fork_available
 from .records import ExperimentResult
 from .schedule import ExperimentSchedule
+from .scheduler import (
+    InlineBackend,
+    ResourceClaim,
+    RetryPolicy,
+    Scheduler,
+    Task,
+    fork_available,
+    in_worker_process,
+    resolve_backend,
+    task_backend_name,
+    task_context,
+)
 from .status import STATUS_DIRNAME, CellHeartbeat, write_grid_manifest
 
 __all__ = [
@@ -358,36 +371,61 @@ def _run_cell(
 # ---------------------------------------------------------------------
 # Dispatch
 
-_CELL_WORKS: Optional[Sequence[CellWork]] = None
-_CELL_STATUS_DIR: Optional[str] = None
-
-
-def _init_cell_pool(
-    works: Sequence[CellWork], status_dir: Optional[str] = None
-) -> None:
-    global _CELL_WORKS, _CELL_STATUS_DIR
-    _CELL_WORKS = works
-    _CELL_STATUS_DIR = status_dir
+#: Cells are never retried: a failed cell is recorded as a
+#: :class:`CellFailure` and the campaign reports it after the rest of
+#: the grid completes (checkpointing means a re-run only recomputes
+#: the failures).
+_CELL_RETRY_POLICY = RetryPolicy(
+    max_retries=0, backoff_base=0.0, recoverable=(), inline_fallback=False
+)
 
 
 def _make_heartbeat(
-    spec: ExperimentSpec, status_dir: Optional[str]
+    spec: ExperimentSpec,
+    status_dir: Optional[str],
+    backend: Optional[str] = None,
 ) -> Optional[CellHeartbeat]:
     if status_dir is None:
         return None
-    return CellHeartbeat(status_dir, spec.digest(), spec.label())
+    return CellHeartbeat(
+        status_dir, spec.digest(), spec.label(), backend=backend
+    )
 
 
-def _cell_worker(index: int) -> CellOutcome:
-    """Pool entry point: run one cell under isolated obs state and
-    ship snapshots back for in-order merging.  The worker maintains
-    its own digest-keyed heartbeat file (fresh registry, so the
-    mirrored counters are strictly this cell's)."""
-    if _CELL_WORKS is None:
-        raise ExperimentError("cell worker used before initialisation")
-    work = _CELL_WORKS[index]
+def _cell_task(index: int) -> CellOutcome:
+    """Scheduler task entry point: run one cell.
+
+    The work list and status directory arrive as the backend context
+    (:func:`task_context`); the executing backend's name is stamped on
+    the cell's heartbeat so mixed inline/fork campaigns are debuggable
+    from ``repro status``.  In a pool worker the cell runs under
+    isolated obs state and ships snapshots back for in-order merging
+    (fresh registry, so the heartbeat's mirrored counters are strictly
+    this cell's); inline it records straight into the parent's obs
+    state, exactly like a standalone run.
+    """
+    context = task_context()
+    if context is None:
+        raise ExperimentError("cell task used outside a scheduler backend")
+    works, status_dir = context
+    work = works[index]
+    isolate = in_worker_process()
+    heartbeat = _make_heartbeat(
+        work.spec, status_dir, backend=task_backend_name()
+    )
+    if not isolate:
+        try:
+            with span("campaign.cell.%s" % work.spec.label()):
+                outcome = _run_cell(
+                    work, index, isolate=False, heartbeat=heartbeat
+                )
+        except Exception as error:
+            if heartbeat is not None:
+                heartbeat.failed(str(error))
+            raise
+        get_registry().counter("campaign.cells_completed").inc()
+        return outcome
     registry = MetricsRegistry()
-    heartbeat = _make_heartbeat(work.spec, _CELL_STATUS_DIR)
     with use_registry(registry), detached_trace():
         with span("campaign.cell.%s" % work.spec.label()) as record:
             try:
@@ -404,8 +442,27 @@ def _cell_worker(index: int) -> CellOutcome:
     return outcome
 
 
-def _pooled(pool_workers: int, count: int) -> bool:
-    return pool_workers > 1 and count > 1 and _fork_available()
+def _will_fork(
+    pool_workers: int, count: int, backend: Optional[str] = None
+) -> bool:
+    """Whether cell dispatch runs on a fork pool: forced by *backend*,
+    or resolved from the worker count and the platform."""
+    if backend == "fork":
+        return True
+    if backend == "inline":
+        return False
+    return pool_workers > 1 and count > 1 and fork_available()
+
+
+def _cell_claim(work: CellWork) -> ResourceClaim:
+    """A cell's resource claim.  A cell whose effective inner worker
+    count exceeds one will open a shard pool of its own, so it must
+    claim (and be granted) ``may_fork`` — the never-nest rule as a
+    scheduler constraint."""
+    inner = work.inner_workers
+    if inner is None:
+        inner = work.spec.workers
+    return ResourceClaim(cpu_slots=1, may_fork=inner > 1)
 
 
 def dispatch_cells(
@@ -413,99 +470,94 @@ def dispatch_cells(
     pool_workers: int = 1,
     on_outcome: Optional[Callable[[CellOutcome], None]] = None,
     status_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[Optional[CellOutcome]], List[CellFailure]]:
-    """Run *works*, pooled across processes when ``pool_workers > 1``
-    (and ``fork`` exists), inline otherwise.
+    """Run *works* on a scheduler backend: a fork pool when
+    ``pool_workers > 1`` (and ``fork`` exists), inline otherwise;
+    *backend* (``"fork"`` / ``"inline"``) forces the choice.
 
     Returns outcomes in cell order (``None`` where a cell failed) plus
-    the failures.  *on_outcome* fires as each cell completes — the
-    campaign checkpoints there, so cells finished before a crash are
-    never recomputed.  In pooled mode the parent merges worker metrics
-    snapshots, re-attaches span trees, and extends its active
+    the failures.  *on_outcome* fires as each cell's result is merged
+    — the campaign checkpoints there, so cells finished before a crash
+    are never recomputed.  In pooled mode the parent merges worker
+    metrics snapshots, re-attaches span trees, and extends its active
     provenance recorder strictly in cell order, reproducing the inline
     observability streams.  With *status_dir*, every executing cell —
     inline or pooled — maintains a ``<status_dir>/<digest>.json``
-    heartbeat (see :mod:`repro.experiment.status`).
+    heartbeat stamped with the executing backend's name (see
+    :mod:`repro.experiment.status`).
     """
+    works = list(works)
     outcomes: List[Optional[CellOutcome]] = [None] * len(works)
     failures: List[CellFailure] = []
-    if not _pooled(pool_workers, len(works)):
-        for index, work in enumerate(works):
-            heartbeat = _make_heartbeat(work.spec, status_dir)
-            try:
-                with span("campaign.cell.%s" % work.spec.label()):
-                    outcome = _run_cell(
-                        work, index, isolate=False, heartbeat=heartbeat
-                    )
-                get_registry().counter("campaign.cells_completed").inc()
-            except Exception as error:
-                if heartbeat is not None:
-                    heartbeat.failed(str(error))
-                failures.append(CellFailure(
-                    index, work.spec.digest(), work.spec.label(), str(error)
-                ))
-                get_registry().counter("campaign.cells_failed").inc()
-                continue
-            outcomes[index] = outcome
-            if on_outcome is not None:
-                on_outcome(outcome)
+    if not works:
         return outcomes, failures
+    context = (tuple(works), status_dir)
+    pooled = _will_fork(pool_workers, len(works), backend)
+    execution = (
+        resolve_backend(
+            context, workers=min(pool_workers, len(works)), force="fork"
+        )
+        if pooled else InlineBackend(context)
+    )
+    tasks = [
+        Task(key=index, fn=_cell_task, args=(index,), claim=_cell_claim(work))
+        for index, work in enumerate(works)
+    ]
 
-    context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(
-        max_workers=min(pool_workers, len(works)),
-        mp_context=context,
-        initializer=_init_cell_pool,
-        initargs=(works, status_dir),
-    ) as pool:
-        futures = {
-            pool.submit(_cell_worker, index): index
-            for index in range(len(works))
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            try:
-                outcome = future.result()
-            except Exception as error:
+    def collect(task: Task, result) -> None:
+        index = task.key
+        if result.error is not None:
+            if pooled:
                 # A worker that died outright (crash, pool breakage)
                 # never marked its own heartbeat; do it from here so
                 # the status console shows "failed", not eternal
-                # "running".
-                beat = _make_heartbeat(works[index].spec, status_dir)
+                # "running".  (Inline cells and surviving workers mark
+                # their own heartbeat inside the task.)
+                beat = _make_heartbeat(
+                    works[index].spec, status_dir, backend=execution.name
+                )
                 if beat is not None:
-                    beat.failed(str(error))
-                failures.append(CellFailure(
-                    index, works[index].spec.digest(),
-                    works[index].spec.label(), str(error),
-                ))
-                get_registry().counter("campaign.cells_failed").inc()
+                    beat.failed(str(result.error))
+            failures.append(CellFailure(
+                index, works[index].spec.digest(),
+                works[index].spec.label(), str(result.error),
+            ))
+            get_registry().counter("campaign.cells_failed").inc()
+            return
+        outcomes[index] = result.value
+        if on_outcome is not None:
+            on_outcome(result.value)
+
+    scheduler = Scheduler(execution, _CELL_RETRY_POLICY)
+    try:
+        scheduler.run(tasks, on_result=collect)
+    finally:
+        scheduler.shutdown()
+    if pooled:
+        registry = get_registry()
+        for outcome in outcomes:
+            if outcome is None:
                 continue
-            outcomes[index] = outcome
-            if on_outcome is not None:
-                on_outcome(outcome)
-    registry = get_registry()
-    for outcome in outcomes:
-        if outcome is None:
-            continue
-        if outcome.metrics:
-            registry.merge_snapshot(outcome.metrics)
-        if outcome.trace is not None:
-            attach_completed(outcome.trace)
-    recorder = active_recorder()
-    if recorder is not None:
-        for outcome in outcomes:
-            if outcome is not None and outcome.parent_provenance:
-                recorder.extend(outcome.parent_provenance)
-    trace = active_frontier()
-    if trace is not None:
-        for outcome in outcomes:
-            if outcome is not None and outcome.parent_frontier:
-                trace.extend(outcome.parent_frontier)
-    profiler = active_profiler()
-    if profiler is not None:
-        for outcome in outcomes:
-            if outcome is not None and outcome.parent_profile:
-                profiler.merge_payload(outcome.parent_profile)
+            if outcome.metrics:
+                registry.merge_snapshot(outcome.metrics)
+            if outcome.trace is not None:
+                attach_completed(outcome.trace)
+        recorder = active_recorder()
+        if recorder is not None:
+            for outcome in outcomes:
+                if outcome is not None and outcome.parent_provenance:
+                    recorder.extend(outcome.parent_provenance)
+        trace = active_frontier()
+        if trace is not None:
+            for outcome in outcomes:
+                if outcome is not None and outcome.parent_frontier:
+                    trace.extend(outcome.parent_frontier)
+        profiler = active_profiler()
+        if profiler is not None:
+            for outcome in outcomes:
+                if outcome is not None and outcome.parent_profile:
+                    profiler.merge_payload(outcome.parent_profile)
     failures.sort(key=lambda failure: failure.index)
     return outcomes, failures
 
@@ -539,14 +591,17 @@ def run_experiment_pair(
     shared_seeds = select_seeds(ecosystem, seed_tree=tree.child("seeds"))
     specs = [
         ExperimentSpec(
-            experiment=experiment, seed=seed, pps=pps, workers=workers,
-            shard_size=shard_size, shard_timeout=shard_timeout,
+            experiment=experiment, seed=seed, pps=pps,
+            execution=ExecutionPolicy(
+                workers=workers, shard_size=shard_size,
+                shard_timeout=shard_timeout,
+            ),
             decision_backend=decision_backend,
         )
         for experiment in ("surf", "internet2")
     ]
     pool_workers = 2 if workers > 1 else 1
-    pooled = _pooled(pool_workers, len(specs))
+    pooled = _will_fork(pool_workers, len(specs))
     inner = max(1, workers // 2) if pooled else workers
     works = [
         CellWork(
@@ -592,8 +647,11 @@ def plan_grid(
     specs = [
         ExperimentSpec(
             experiment=experiment, seed=seed, scale=scale,
-            scenario=scenario, pps=pps, workers=workers,
-            shard_size=shard_size, shard_timeout=shard_timeout,
+            scenario=scenario, pps=pps,
+            execution=ExecutionPolicy(
+                workers=workers, shard_size=shard_size,
+                shard_timeout=shard_timeout,
+            ),
             fault_spec=fault_spec,
             provenance_capacity=provenance_capacity,
             decision_backend=decision_backend,
@@ -652,6 +710,10 @@ class CampaignRunner:
     keep_results:
         Retain full :class:`ExperimentResult` objects on the
         :class:`CampaignResult` (memory-heavy; tests use it).
+    backend:
+        Force the scheduler backend for cell dispatch (``"inline"`` or
+        ``"fork"``); ``None`` resolves from ``pool_workers`` and the
+        platform.
     """
 
     def __init__(
@@ -661,15 +723,21 @@ class CampaignRunner:
         pool_workers: int = 1,
         resume: bool = True,
         keep_results: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         digests = [spec.digest() for spec in specs]
         if len(set(digests)) != len(digests):
             raise ExperimentError("campaign grid contains duplicate cells")
+        if backend not in (None, "inline", "fork"):
+            raise ExperimentError(
+                "backend must be 'inline' or 'fork', got %r" % (backend,)
+            )
         self.specs = list(specs)
         self.directory = directory
         self.pool_workers = max(1, int(pool_workers))
         self.resume = resume
         self.keep_results = keep_results
+        self.backend = backend
 
     # -- checkpoint I/O ------------------------------------------------
 
@@ -824,7 +892,7 @@ class CampaignRunner:
             pending=len(pending), pool_workers=self.pool_workers,
         )
 
-        pooled = _pooled(self.pool_workers, len(pending))
+        pooled = _will_fork(self.pool_workers, len(pending), self.backend)
         works = [
             CellWork(
                 spec=spec,
@@ -864,6 +932,7 @@ class CampaignRunner:
                 pool_workers=self.pool_workers,
                 on_outcome=checkpoint_outcome,
                 status_dir=self.status_dir,
+                backend=self.backend,
             )
 
         result.completed = len(records) - skipped

@@ -11,12 +11,14 @@ embarrassingly parallel workload by prefix.
 round it captures a compact :class:`~repro.probing.forwarding.RibSnapshot`
 of the converged forwarding state, partitions the prefix-sorted target
 set into contiguous shards, and fans the per-shard return-path
-propagation + probing out over a ``fork``-based
-:class:`~concurrent.futures.ProcessPoolExecutor` (an in-process
-executor stands in for ``workers=1`` and for platforms without
-``fork``).  Shard results are merged back in shard order, which — the
-shards being contiguous blocks of the same sorted prefix order the
-serial prober uses — reproduces the serial round byte for byte.
+propagation + probing out through the unified
+:class:`~repro.experiment.scheduler.Scheduler`: each shard is a
+:class:`~repro.experiment.scheduler.Task` executed by the resolved
+backend (a ``fork`` pool when ``workers > 1`` and the platform allows
+it, the inline backend otherwise).  Shard results are merged back in
+shard order, which — the shards being contiguous blocks of the same
+sorted prefix order the serial prober uses — reproduces the serial
+round byte for byte.
 
 Determinism contract
 --------------------
@@ -47,14 +49,14 @@ Fault tolerance
 ---------------
 Shard execution is a pure function of ``(spec, snapshot, worker
 state)``, so a shard that dies can always be re-executed without
-changing results.  The runner exploits that: ``future.result`` is
-bounded by ``shard_timeout``, and a failed shard — worker crash
-(``BrokenProcessPool``), timeout, or an injected
-:class:`~repro.faults.InjectedFault` — is retried up to
-``max_retries`` times with exponential backoff (rebuilding the pool
-when it broke), then re-executed *inline* in the parent as a last
-resort.  A recovered run is therefore byte-identical to a fault-free
-one; what happened is recorded in
+changing results.  Recovery — bounded retries with exponential backoff
+(rebuilding a broken pool), then inline re-execution in the parent as
+a last resort — lives in the scheduler's
+:class:`~repro.experiment.scheduler.RetryPolicy`; each shard task
+carries ``retry_args`` with the execution-fault directive stripped so
+an *injected* failure cannot recur while the environment directive
+(lossy prefixes) survives.  A recovered run is therefore
+byte-identical to a fault-free one; what happened is recorded in
 :class:`~repro.experiment.records.DegradationRecord` entries,
 ``runner.shard_retries`` / ``runner.shard_fallbacks`` /
 ``runner.faults_injected`` counters, and ``kind="degradation"``
@@ -66,12 +68,8 @@ can be injected deterministically from the experiment seed via a
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -107,6 +105,18 @@ from ..seeds.selection import ProbeTarget
 from ..topology.re_config import SystemPlan
 from .records import DegradationRecord, ShardOutcome, ShardSpec
 from .runner import ExperimentRunner
+from .scheduler import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_MAX_RETRIES,
+    ResourceClaim,
+    RetryPolicy,
+    Scheduler,
+    Task,
+    TaskResult,
+    crash_kills_process,
+    resolve_backend,
+    task_context,
+)
 
 __all__ = [
     "ShardedRunner",
@@ -120,42 +130,13 @@ __all__ = [
 #: prefixes with different hop counts; the value never affects results.
 DEFAULT_SHARDS_PER_WORKER = 4
 
-#: Default bounded-retry budget per failed shard before the runner
-#: falls back to inline re-execution in the parent process.
-DEFAULT_MAX_RETRIES = 2
-
-#: Base of the exponential backoff between shard retries (seconds):
-#: retry *n* sleeps ``base * 2**(n-1)``.  Small — a crashed worker
-#: needs the pool rebuilt, not a long cool-down.
-DEFAULT_BACKOFF_BASE = 0.05
-
-#: Failures a shard recovers from.  ``FuturesTimeout`` is a distinct
-#: class on Python 3.10 and an alias of the builtin ``TimeoutError``
-#: from 3.11 on, so both are listed.
-_RECOVERABLE_FAULTS = (
-    BrokenProcessPool,
-    FuturesTimeout,
-    TimeoutError,
-    InjectedFault,
-)
-
 _log = get_logger("repro.parallel")
-
-
-def _describe_failure(error: BaseException) -> str:
-    if isinstance(error, BrokenProcessPool):
-        return "worker-crash"
-    if isinstance(error, (FuturesTimeout, TimeoutError)):
-        return "timeout"
-    if isinstance(error, InjectedFault):
-        return "injected-crash"
-    return type(error).__name__
 
 
 @dataclass(frozen=True)
 class _WorkerState:
-    """Round-invariant probing state, shipped to each worker once (via
-    the pool initializer) rather than with every shard."""
+    """Round-invariant probing state, shipped to each worker once (as
+    the scheduler backend's context) rather than with every shard."""
 
     targets: Dict[Prefix, List[ProbeTarget]]
     systems: Dict[int, SystemPlan]
@@ -163,28 +144,11 @@ class _WorkerState:
     pps: int
 
 
-_WORKER: Optional[_WorkerState] = None
-
-#: True only in processes forked *by the shard pool* (set in its
-#: initializer).  Crash faults consult this — not
-#: ``multiprocessing.parent_process()`` — so an inline shard running
-#: inside some other pool's worker (a campaign cell process) raises a
-#: recoverable :class:`InjectedFault` instead of killing that worker
-#: and breaking the outer pool.
-_IN_SHARD_POOL = False
-
-
-def _init_worker(state: _WorkerState) -> None:
-    global _WORKER, _IN_SHARD_POOL
-    _WORKER = state
-    _IN_SHARD_POOL = True
-
-
 @dataclass(frozen=True)
 class _ProvenanceSpec:
     """Per-round provenance instructions shipped to shard workers.
 
-    Workers never touch the parent's recorder (the inline executor
+    Workers never touch the parent's recorder (the inline backend
     shares its process, so recording there would double-count); they
     build events locally and ship them back in
     :class:`~repro.experiment.records.ShardOutcome.provenance`.
@@ -268,19 +232,26 @@ def _run_shard(
     fault: Optional[FaultDirective] = None,
     frontier: bool = False,
 ) -> ShardOutcome:
-    """Worker entry point: probe one shard under isolated obs state.
+    """Task entry point: probe one shard under isolated obs state.
+
+    The round-invariant :class:`_WorkerState` arrives as the scheduler
+    backend's context (:func:`task_context`), installed once per pool
+    worker or around each inline execution.
 
     *fault* is the shard's injection directive.  Execution faults fire
     before any probing: a crash kills the worker process outright
-    (``os._exit`` — the parent sees ``BrokenProcessPool``) or, when no
-    process boundary exists (inline executor), raises
-    :class:`InjectedFault`; a hang sleeps past the parent's
-    ``shard_timeout``.  The environment fault — ``lossy_prefixes`` —
-    blanks those prefixes' probes and *does* survive retries, since it
-    is part of the simulated world, not the machinery.
+    (``os._exit`` — the parent sees ``BrokenProcessPool``) when
+    :func:`crash_kills_process` allows it, and otherwise — inline
+    execution, including an inline shard inside a campaign cell
+    worker — raises a recoverable :class:`InjectedFault`; a hang
+    sleeps past the scheduler policy's ``timeout``.  The environment
+    fault — ``lossy_prefixes`` — blanks those prefixes' probes and
+    *does* survive retries, since it is part of the simulated world,
+    not the machinery.
     """
-    if _WORKER is None:
-        raise ExperimentError("shard worker used before initialisation")
+    state = task_context()
+    if state is None:
+        raise ExperimentError("shard task used outside a scheduler backend")
     # A forked worker inherits the parent's profiler (and possibly a
     # live cProfile hook from the phase the fork happened inside);
     # drop both so shard timings are not skewed.  No-op inline.
@@ -288,7 +259,7 @@ def _run_shard(
     lossy: frozenset = frozenset()
     if fault is not None:
         if fault.crash:
-            if _IN_SHARD_POOL:
+            if crash_kills_process():
                 os._exit(1)
             raise InjectedFault(
                 "injected worker crash in shard %d" % spec.shard_id
@@ -301,7 +272,7 @@ def _run_shard(
     with use_registry(registry), detached_trace():
         with span("runner.shard.%d" % spec.shard_id) as record:
             rows, events, frontier_rows = _probe_shard(
-                _WORKER, spec, snapshot, provenance, lossy, frontier
+                state, spec, snapshot, provenance, lossy, frontier
             )
         registry.counter("parallel.shard_probes").inc(len(rows))
         registry.counter("parallel.shards_completed").inc()
@@ -318,39 +289,6 @@ def _run_shard(
     )
 
 
-class _InlineExecutor:
-    """Same-process stand-in for the process pool.
-
-    Used for ``workers=1`` and for platforms without ``fork``: shards
-    run eagerly on ``submit`` through the *same* worker code path, so
-    the snapshot/merge machinery is exercised even when no processes
-    are spawned.
-    """
-
-    def __init__(self, state: _WorkerState) -> None:
-        self._state = state
-
-    def submit(self, fn, *args) -> Future:
-        global _WORKER
-        previous = _WORKER
-        _WORKER = self._state
-        future: Future = Future()
-        try:
-            future.set_result(fn(*args))
-        except BaseException as error:  # parity with pool futures
-            future.set_exception(error)
-        finally:
-            _WORKER = previous
-        return future
-
-    def shutdown(self, wait: bool = True) -> None:
-        pass
-
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
 class ShardedRunner(ExperimentRunner):
     """An :class:`ExperimentRunner` whose probing rounds fan out across
     shards of the prefix set.
@@ -358,7 +296,8 @@ class ShardedRunner(ExperimentRunner):
     Parameters
     ----------
     workers:
-        Process count.  ``1`` (the default) runs shards in-process.
+        Parallel slot count.  ``1`` (the default) runs shards through
+        the inline backend in-process.
     shard_size:
         Prefixes per shard.  Defaults to splitting the prefix set into
         ``workers * DEFAULT_SHARDS_PER_WORKER`` shards.  Neither knob
@@ -375,6 +314,9 @@ class ShardedRunner(ExperimentRunner):
         injected into shard submissions and must be recovered without
         changing results; environment faults are applied exactly as
         the serial runner applies them.
+    backend:
+        Force the execution backend (``"inline"`` / ``"fork"``); None
+        resolves fork → inline from ``workers`` and the platform.
     """
 
     def __init__(
@@ -392,6 +334,7 @@ class ShardedRunner(ExperimentRunner):
         backoff_base: float = DEFAULT_BACKOFF_BASE,
         fault_plan=None,
         decision_backend=None,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             ecosystem, experiment, seed=seed, schedule=schedule,
@@ -408,13 +351,17 @@ class ShardedRunner(ExperimentRunner):
             raise ExperimentError("max_retries must be >= 0")
         if backoff_base < 0:
             raise ExperimentError("backoff_base must be >= 0")
+        if backend not in (None, "inline", "fork"):
+            raise ExperimentError(
+                "unknown execution backend %r" % (backend,)
+            )
         self.workers = workers
         self.shard_size = shard_size
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
-        self._executor = None
-        self._executor_kind = "none"
+        self.backend = backend
+        self._scheduler: Optional[Scheduler] = None
         self._worker_state: Optional[_WorkerState] = None
         # Whether the current round's shards should ship frontier rows
         # (set per round from the active FrontierTrace).
@@ -426,13 +373,13 @@ class ShardedRunner(ExperimentRunner):
         try:
             return super().run()
         finally:
-            self._shutdown_executor()
+            self._shutdown_scheduler()
 
-    # ----- executor lifecycle -----------------------------------------
+    # ----- scheduler lifecycle ----------------------------------------
 
-    def _ensure_executor(self, prober: Prober):
-        if self._executor is not None:
-            return self._executor
+    def _ensure_scheduler(self, prober: Prober) -> Scheduler:
+        if self._scheduler is not None:
+            return self._scheduler
         self._worker_state = _WorkerState(
             targets=self.seed_plan.targets,
             systems=prober.systems_by_address,
@@ -442,60 +389,37 @@ class ShardedRunner(ExperimentRunner):
             },
             pps=prober.pps,
         )
-        self._build_executor()
-        return self._executor
-
-    def _build_executor(self) -> None:
-        """(Re)create the executor from the stored worker state — the
-        initial construction and every post-crash rebuild share this
-        path, so recovery never needs the prober again."""
-        state = self._worker_state
-        if state is None:
-            raise ExperimentError("executor built before worker state")
-        if self.workers > 1 and _fork_available():
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_init_worker,
-                initargs=(state,),
-            )
-            self._executor_kind = "process"
-        else:
-            self._executor = _InlineExecutor(state)
-            self._executor_kind = "inline"
+        execution = resolve_backend(
+            self._worker_state, workers=self.workers, force=self.backend
+        )
+        self._scheduler = Scheduler(
+            execution,
+            RetryPolicy(
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                timeout=self.shard_timeout,
+            ),
+            on_retry=self._count_shard_retry,
+            on_fallback=self._count_shard_fallback,
+        )
         _log.info(
-            "shard executor ready",
-            kind=self._executor_kind,
+            "shard scheduler ready",
+            backend=execution.name,
             workers=self.workers,
             experiment=self.experiment,
         )
+        return self._scheduler
 
-    def _rebuild_broken_executor(self) -> None:
-        """Replace the process pool after a worker crash.
+    def _shutdown_scheduler(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.shutdown(wait=True)
+            self._scheduler = None
 
-        A ``BrokenProcessPool`` future may come from a pool an earlier
-        recovery already replaced (one crash breaks every pending
-        future), so rebuild only when the *current* pool is actually
-        broken — ``_broken`` is private but the default errs toward
-        rebuilding, which is always safe, merely slower.
-        """
-        executor = self._executor
-        if isinstance(executor, ProcessPoolExecutor):
-            if not getattr(executor, "_broken", True):
-                return
-            executor.shutdown(wait=False)
-            _log.warning(
-                "process pool broken; rebuilding",
-                workers=self.workers,
-                experiment=self.experiment,
-            )
-        self._build_executor()
+    def _count_shard_retry(self, task, attempt, failures) -> None:
+        get_registry().counter("runner.shard_retries").inc()
 
-    def _shutdown_executor(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_kind = "none"
+    def _count_shard_fallback(self, task, failures) -> None:
+        get_registry().counter("runner.shard_fallbacks").inc()
 
     # ----- sharding ----------------------------------------------------
 
@@ -529,8 +453,6 @@ class ShardedRunner(ExperimentRunner):
                 len(self.seed_plan.targets[prefix]) for prefix in block
             )
         return specs
-
-    # ----- the probing round, sharded ---------------------------------
 
     def _shard_directives(
         self, index: int, specs: List[ShardSpec]
@@ -566,119 +488,7 @@ class ShardedRunner(ExperimentRunner):
                 directives[spec.shard_id] = directive
         return directives
 
-    # ----- shard recovery ----------------------------------------------
-
-    def _submit_shard(
-        self,
-        spec: ShardSpec,
-        snapshot: RibSnapshot,
-        provenance: Optional[_ProvenanceSpec],
-        fault: Optional[FaultDirective],
-    ) -> Future:
-        """Submit one shard, converting a synchronous submission
-        failure into a failed future.
-
-        A crashing worker races the submit loop: ``os._exit`` can break
-        the pool while later shards of the same round are still being
-        submitted, making ``submit`` itself raise ``BrokenProcessPool``.
-        Wrapping the failure in a future funnels it through the same
-        merge-time recovery path as an asynchronous crash.
-        """
-        try:
-            return self._executor.submit(
-                _run_shard, spec, snapshot, provenance, fault,
-                self._frontier_on,
-            )
-        except _RECOVERABLE_FAULTS as error:
-            future: Future = Future()
-            future.set_exception(error)
-            return future
-
-    def _await(self, future: Future) -> ShardOutcome:
-        if self.shard_timeout is not None:
-            return future.result(timeout=self.shard_timeout)
-        return future.result()
-
-    def _shard_outcome(
-        self,
-        spec: ShardSpec,
-        snapshot: RibSnapshot,
-        provenance: Optional[_ProvenanceSpec],
-        fault: Optional[FaultDirective],
-        future: Future,
-    ) -> ShardOutcome:
-        try:
-            return self._await(future)
-        except _RECOVERABLE_FAULTS as error:
-            return self._recover_shard(
-                spec, snapshot, provenance, fault, error
-            )
-
-    def _recover_shard(
-        self,
-        spec: ShardSpec,
-        snapshot: RibSnapshot,
-        provenance: Optional[_ProvenanceSpec],
-        fault: Optional[FaultDirective],
-        error: BaseException,
-    ) -> ShardOutcome:
-        """Re-execute a failed shard until it succeeds.
-
-        Bounded retries with exponential backoff first — stripping any
-        execution-fault directive so an *injected* failure cannot
-        recur, while the environment directive (lossy prefixes)
-        survives, keeping results identical to a fault-free run — then
-        inline re-execution in the parent process, which cannot crash
-        or hang.  Every recovery is recorded as a
-        :class:`DegradationRecord` plus a degradation provenance
-        event.
-        """
-        registry = get_registry()
-        clean = (
-            fault.without_execution_faults() if fault is not None else None
-        )
-        failures = [_describe_failure(error)]
-        _log.warning(
-            "shard failed; recovering",
-            shard=spec.shard_id,
-            round=spec.round_index,
-            experiment=self.experiment,
-            failure=failures[0],
-        )
-        for attempt in range(1, self.max_retries + 1):
-            registry.counter("runner.shard_retries").inc()
-            delay = self.backoff_base * (2 ** (attempt - 1))
-            if delay > 0:
-                time.sleep(delay)
-            try:
-                if isinstance(error, BrokenProcessPool):
-                    self._rebuild_broken_executor()
-                future = self._executor.submit(
-                    _run_shard, spec, snapshot, provenance, clean,
-                    self._frontier_on,
-                )
-                outcome = self._await(future)
-                self._note_degradation(
-                    spec, "retry", attempt + 1, failures
-                )
-                return outcome
-            except _RECOVERABLE_FAULTS as retry_error:
-                error = retry_error
-                failures.append(_describe_failure(retry_error))
-        # Last resort: run the shard in this process, where there is
-        # no pool to break and no timeout to trip.
-        registry.counter("runner.shard_fallbacks").inc()
-        if isinstance(error, BrokenProcessPool):
-            self._rebuild_broken_executor()
-        fallback = _InlineExecutor(self._worker_state)
-        outcome = fallback.submit(
-            _run_shard, spec, snapshot, provenance, clean,
-            self._frontier_on,
-        ).result()
-        self._note_degradation(
-            spec, "fallback", self.max_retries + 2, failures
-        )
-        return outcome
+    # ----- degradation bookkeeping ------------------------------------
 
     def _note_degradation(
         self,
@@ -727,7 +537,7 @@ class ShardedRunner(ExperimentRunner):
     def _probe_round(
         self, engine, prober: Prober, rib, index: int, config_label: str
     ) -> RoundResult:
-        self._ensure_executor(prober)
+        scheduler = self._ensure_scheduler(prober)
         with span("runner.snapshot"):
             snapshot = RibSnapshot.capture(
                 self.ecosystem.topology, rib,
@@ -750,18 +560,29 @@ class ShardedRunner(ExperimentRunner):
         )
         if injected:
             registry.counter("runner.faults_injected").inc(injected)
-        futures = [
-            self._submit_shard(
-                spec, snapshot, provenance, directives.get(spec.shard_id)
+        tasks: List[Task] = []
+        for spec in specs:
+            fault = directives.get(spec.shard_id)
+            clean = (
+                fault.without_execution_faults()
+                if fault is not None else None
             )
-            for spec in specs
-        ]
+            tasks.append(Task(
+                key=spec.shard_id,
+                fn=_run_shard,
+                args=(spec, snapshot, provenance, fault,
+                      self._frontier_on),
+                retry_args=(spec, snapshot, provenance, clean,
+                            self._frontier_on),
+                claim=ResourceClaim(cpu_slots=1),
+            ))
         result = RoundResult(config=config_label, started_at=engine.now)
         state = self._worker_state
         kind_of = state.interface_kinds.__getitem__
         interval = 1.0 / prober.pps
-        total = 0
-        with span("runner.merge"):
+        merged = {"shards": 0, "probes": 0}
+
+        def merge(task: Task, task_result: TaskResult) -> None:
             # Merge in shard order: shards are contiguous blocks of the
             # sorted prefix order, so insertion order — and therefore
             # every downstream iteration — matches the serial round.
@@ -769,58 +590,64 @@ class ShardedRunner(ExperimentRunner):
             # against the parent's own target table, with transmit
             # times recomputed from the same global probe indices the
             # workers used.
-            for merged_shards, (spec, future) in enumerate(
-                zip(specs, futures), start=1
-            ):
-                outcome = self._shard_outcome(
-                    spec, snapshot, provenance,
-                    directives.get(spec.shard_id), future,
+            if task_result.error is not None:
+                raise task_result.error
+            spec = specs[task.key]
+            if task_result.recovered_by is not None:
+                self._note_degradation(
+                    spec, task_result.recovered_by,
+                    task_result.attempts, task_result.failures,
                 )
-                self._report_progress(
-                    phase="probing",
-                    shards_completed=merged_shards,
-                    shards_total=len(specs),
-                )
-                row_iter = iter(outcome.rows)
-                probe_index = spec.start_index
-                for prefix in spec.prefixes:
-                    rebuilt = []
-                    for target in state.targets[prefix]:
-                        rebuilt.append(
-                            response_from_row(
-                                next(row_iter), target,
-                                spec.started_at + probe_index * interval,
-                                kind_of,
-                            )
+            outcome: ShardOutcome = task_result.value
+            merged["shards"] += 1
+            self._report_progress(
+                phase="probing",
+                shards_completed=merged["shards"],
+                shards_total=len(specs),
+            )
+            row_iter = iter(outcome.rows)
+            probe_index = spec.start_index
+            for prefix in spec.prefixes:
+                rebuilt = []
+                for target in state.targets[prefix]:
+                    rebuilt.append(
+                        response_from_row(
+                            next(row_iter), target,
+                            spec.started_at + probe_index * interval,
+                            kind_of,
                         )
-                        probe_index += 1
-                    if rebuilt:
-                        result.responses[prefix] = rebuilt
-                total += outcome.probe_count
-                if recorder is not None and outcome.provenance:
-                    # Shard order == serial prefix order (contiguous
-                    # blocks), so the ring receives the serial stream.
-                    recorder.extend(outcome.provenance)
-                if self._frontier_on and outcome.frontier:
-                    # Same contiguity argument: concatenating shard
-                    # rows in shard order reproduces the serial
-                    # per-prefix row order exactly.
-                    frontier_rows.extend(outcome.frontier)
-                registry.merge_snapshot(outcome.metrics)
-                if outcome.trace is not None:
-                    attach_completed(outcome.trace)
-                    if profiler is not None:
-                        # Counter-based attribution for work that ran
-                        # in shard processes this profiler never saw.
-                        profiler.fold_trace(outcome.trace)
-                registry.histogram("runner.shard_wall_seconds").observe(
-                    outcome.wall_seconds
-                )
+                    )
+                    probe_index += 1
+                if rebuilt:
+                    result.responses[prefix] = rebuilt
+            merged["probes"] += outcome.probe_count
+            if recorder is not None and outcome.provenance:
+                # Shard order == serial prefix order (contiguous
+                # blocks), so the ring receives the serial stream.
+                recorder.extend(outcome.provenance)
+            if self._frontier_on and outcome.frontier:
+                # Same contiguity argument: concatenating shard rows
+                # in shard order reproduces the serial per-prefix row
+                # order exactly.
+                frontier_rows.extend(outcome.frontier)
+            registry.merge_snapshot(outcome.metrics)
+            if outcome.trace is not None:
+                attach_completed(outcome.trace)
+                if profiler is not None:
+                    # Counter-based attribution for work that ran in
+                    # shard processes this profiler never saw.
+                    profiler.fold_trace(outcome.trace)
+            registry.histogram("runner.shard_wall_seconds").observe(
+                outcome.wall_seconds
+            )
+
+        with span("runner.merge"):
+            scheduler.run(tasks, on_result=merge)
         if self._frontier_on:
             # Handed to _capture_round_frontier (base class) right
             # after this round result is recorded.
             self._frontier_rows = frontier_rows
-        result.duration = total * (1.0 / prober.pps)
+        result.duration = merged["probes"] * (1.0 / prober.pps)
         registry.counter("runner.rounds_sharded").inc()
         registry.gauge("runner.shards_per_round").set(len(specs))
         registry.gauge("runner.shard_workers").set(self.workers)
@@ -831,7 +658,7 @@ class ShardedRunner(ExperimentRunner):
                 round=index,
                 config=config_label,
                 shards=len(specs),
-                probes=total,
-                executor=self._executor_kind,
+                probes=merged["probes"],
+                backend=scheduler.backend.name,
             )
         return result

@@ -13,15 +13,15 @@ One :class:`ExperimentRunner` reproduces one of the paper's two runs
 5. collector feeder views and the BGP update log are captured
    throughout (Tables 3 and Figure 3).
 
-``run_both_experiments`` runs SURF then Internet2 with the *same* probe
-seeds, as the paper did to make Table 2 comparable.
+:func:`repro.experiment.campaign.run_experiment_pair` runs SURF then
+Internet2 with the *same* probe seeds, as the paper did to make
+Table 2 comparable.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..bgp.arraytable import (
     active_decision_backend,
@@ -653,40 +653,3 @@ class ExperimentRunner:
                     session_weight=1,
                 )
             )
-
-
-def run_both_experiments(
-    ecosystem: Ecosystem,
-    seed: int = 0,
-    schedule: Optional[ExperimentSchedule] = None,
-    pps: int = 100,
-    workers: int = 1,
-    shard_size: Optional[int] = None,
-    fault_plan: Optional[FaultPlan] = None,
-    shard_timeout: Optional[float] = None,
-) -> Tuple[ExperimentResult, ExperimentResult]:
-    """Deprecated alias for
-    :func:`repro.experiment.campaign.run_experiment_pair`.
-
-    Kept as a thin wrapper for existing callers; the campaign cell
-    dispatcher it delegates to preserves the shared ``select_seeds``
-    plan and byte-identical results, and additionally runs the two
-    experiments as concurrent cells at ``workers > 1`` (this function
-    ran them strictly serially).  New code should build
-    :class:`repro.api.ExperimentSpec` pairs or call
-    ``run_experiment_pair`` directly.
-    """
-    warnings.warn(
-        "run_both_experiments is deprecated; use "
-        "repro.experiment.campaign.run_experiment_pair or "
-        "repro.api.run_experiment",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .campaign import run_experiment_pair
-
-    return run_experiment_pair(
-        ecosystem, seed=seed, schedule=schedule, pps=pps,
-        workers=workers, shard_size=shard_size, fault_plan=fault_plan,
-        shard_timeout=shard_timeout,
-    )

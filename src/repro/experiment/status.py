@@ -103,7 +103,13 @@ class CellHeartbeat:
     never fail a cell that would otherwise complete.
     """
 
-    def __init__(self, status_dir: str, digest: str, label: str) -> None:
+    def __init__(
+        self,
+        status_dir: str,
+        digest: str,
+        label: str,
+        backend: Optional[str] = None,
+    ) -> None:
         self.status_dir = status_dir
         self.digest = digest
         self.label = label
@@ -112,6 +118,10 @@ class CellHeartbeat:
             "schema": HEARTBEAT_SCHEMA_VERSION,
             "digest": digest,
             "label": label,
+            # The scheduler backend executing this cell ("inline" /
+            # "fork"), stamped by the dispatcher so mixed campaigns
+            # are debuggable from the status console.
+            "backend": backend,
             "phase": "pending",
             "config": None,
             "rounds_completed": 0,
@@ -245,6 +255,10 @@ class CellStatus:
     label: str
     state: str                      # done / running / stale / failed / pending
     phase: str = "pending"
+    #: Scheduler backend that executed (or is executing) the cell, as
+    #: stamped on its heartbeat; None for pre-scheduler heartbeats or
+    #: cells that never ran.
+    backend: Optional[str] = None
     rounds_completed: int = 0
     rounds_total: Optional[int] = None
     engine_iterations: int = 0
@@ -446,9 +460,9 @@ class CampaignStatus:
         if verbose and self.cells:
             lines.append("")
             lines.append(
-                "  %-34s %-8s %-8s %7s %6s %8s %16s"
-                % ("cell", "state", "phase", "rounds", "age", "wall",
-                   "msgs/chg/drop")
+                "  %-34s %-8s %-8s %-7s %7s %6s %8s %16s"
+                % ("cell", "state", "phase", "backend", "rounds", "age",
+                   "wall", "msgs/chg/drop")
             )
             for cell in self.cells:
                 age = (
@@ -463,10 +477,10 @@ class CampaignStatus:
                 if cell.state == "failed" and cell.error:
                     marker = " <- %s" % cell.error
                 lines.append(
-                    "  %-34s %-8s %-8s %7s %6s %8s %16s%s"
+                    "  %-34s %-8s %-8s %-7s %7s %6s %8s %16s%s"
                     % (cell.label[:34], cell.state, cell.phase[:8],
-                       cell.rounds_text, age, wall,
-                       cell.convergence_text, marker)
+                       (cell.backend or "-")[:7], cell.rounds_text, age,
+                       wall, cell.convergence_text, marker)
                 )
         for cell in self.stale_cells:
             lines.append(
@@ -503,6 +517,7 @@ def _fold_cell(
         "best_changes": int(beat.get("best_changes") or 0),
         "messages_dropped": int(beat.get("messages_dropped") or 0),
         "shard_retries": int(beat.get("shard_retries") or 0),
+        "backend": beat.get("backend"),
         "age_seconds": age,
         "resumed": bool(beat.get("resumed")),
         "error": beat.get("error"),

@@ -12,9 +12,14 @@ import json
 
 import pytest
 
-from repro.api import SPEC_SCHEMA_VERSION, ExperimentSpec, run_experiment
+from repro.api import (
+    SPEC_SCHEMA_VERSION,
+    ExecutionPolicy,
+    ExperimentSpec,
+    run_experiment,
+)
 from repro.errors import ExperimentError, ReproError
-from repro.experiment.runner import ExperimentRunner, run_both_experiments
+from repro.experiment.runner import ExperimentRunner
 from repro.obs.provenance import ProvenanceRecorder, use_provenance
 from repro.rng import SeedTree
 from repro.seeds.selection import select_seeds
@@ -135,15 +140,15 @@ def test_digest_stability():
     """Pinned digests: a drift here breaks every existing campaign
     checkpoint directory, so it must be deliberate (bump
     SPEC_SCHEMA_VERSION and say so in CHANGES.md).  Re-pinned for
-    schema 3 (the ``frontier_capacity`` and ``profile`` fields)."""
-    assert ExperimentSpec().digest() == "d11228980a54a173"
+    schema 4 (execution fields nested under ``execution``)."""
+    assert ExperimentSpec().digest() == "77a105ef93a88b49"
     assert ExperimentSpec(
         experiment="surf", seed=3, scale=0.05
-    ).digest() == "4e28ec77156a31a1"
+    ).digest() == "9e469f30f3cd0274"
     assert ExperimentSpec(
         experiment="internet2", seed=7, scenario="re-dominant",
         config_overrides={"no_commodity_rate": 0.5},
-    ).digest() == "833857cd0cd5968f"
+    ).digest() == "8da40a7f0bbcf5f0"
 
 
 def test_digest_changes_with_simulation_fields():
@@ -170,6 +175,66 @@ def test_from_dict_rejects_unknown_fields_and_schemas():
                                   "flux_capacitor": 1})
     with pytest.raises(ExperimentError, match="schema"):
         ExperimentSpec.from_dict({"schema": 999})
+
+
+# ---------------------------------------------------------------------
+# ExecutionPolicy
+
+
+def test_execution_policy_defaults_and_validation():
+    policy = ExecutionPolicy()
+    assert policy.workers == 1
+    assert policy.shard_size is None
+    assert policy.backend is None
+    for kwargs in (
+        {"workers": 0},
+        {"shard_size": 0},
+        {"shard_timeout": 0.0},
+        {"max_retries": -1},
+        {"backoff_base": -0.1},
+        {"backend": "asyncio"},
+    ):
+        with pytest.raises(ExperimentError):
+            ExecutionPolicy(**kwargs)
+
+
+def test_legacy_flat_kwargs_fold_into_execution():
+    """The pre-schema-4 flat spellings keep working — construction,
+    ``replace``, and property reads all see one nested policy."""
+    spec = ExperimentSpec(workers=4, shard_size=8, shard_timeout=30.0)
+    assert spec.execution == ExecutionPolicy(
+        workers=4, shard_size=8, shard_timeout=30.0
+    )
+    assert (spec.workers, spec.shard_size, spec.shard_timeout) == (
+        4, 8, 30.0
+    )
+    nested = ExperimentSpec(execution=ExecutionPolicy(
+        workers=4, shard_size=8, shard_timeout=30.0
+    ))
+    assert nested == spec
+    assert nested.digest() == spec.digest()
+    assert spec.replace(workers=2).execution.workers == 2
+
+
+def test_from_dict_reads_schema_3_flat_execution_keys():
+    spec = ExperimentSpec(workers=4, shard_size=8, shard_timeout=30.0,
+                          seed=11, scale=0.07)
+    data = json.loads(spec.to_json())
+    del data["execution"]
+    data.update(schema=3, workers=4, shard_size=8, shard_timeout=30.0)
+    again = ExperimentSpec.from_dict(data)
+    assert again == spec
+    assert again.digest() == spec.digest()
+
+
+def test_execution_policy_json_round_trip():
+    spec = ExperimentSpec(execution=ExecutionPolicy(
+        workers=2, max_retries=5, backoff_base=0.0, backend="inline"
+    ))
+    again = ExperimentSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.execution.max_retries == 5
+    assert again.execution.backend == "inline"
 
 
 # ---------------------------------------------------------------------
@@ -245,14 +310,3 @@ def test_run_experiment_defers_to_active_recorder():
         result = run_experiment(spec)
     assert result.provenance_events is None
     assert len(recorder.events()) > 0
-
-
-def test_run_both_experiments_deprecated():
-    ecosystem = build_ecosystem(
-        ExperimentSpec(scale=SCALE).ecosystem_config(), seed=SEED
-    )
-    with pytest.warns(DeprecationWarning, match="run_both_experiments"):
-        surf, internet2 = run_both_experiments(ecosystem, seed=SEED)
-    assert surf.experiment == "surf"
-    assert internet2.experiment == "internet2"
-    assert surf.seed_plan is internet2.seed_plan

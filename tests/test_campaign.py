@@ -186,6 +186,57 @@ def test_pooled_campaign_summary_identical_to_serial(tmp_path):
         assert one == two
 
 
+def test_forced_backend_summary_identical(tmp_path):
+    """`backend=` forces the dispatch path without touching results:
+    summaries and identity views match the default serial run under
+    both forced backends."""
+    from repro.experiment.scheduler import fork_available
+
+    specs, _ = _grid(tmp_path)
+    serial_dir = str(tmp_path / "serial")
+    CampaignRunner(specs, serial_dir, pool_workers=1).run()
+    with open(os.path.join(serial_dir, "campaign_summary.json")) as fh:
+        serial_bytes = fh.read()
+    forced = {"inline": 2}
+    if fork_available():
+        forced["fork"] = 2
+    for backend, pool_workers in forced.items():
+        directory = str(tmp_path / ("forced-%s" % backend))
+        CampaignRunner(
+            specs, directory, pool_workers=pool_workers, backend=backend
+        ).run()
+        with open(os.path.join(directory, "campaign_summary.json")) as fh:
+            assert fh.read() == serial_bytes, backend
+
+
+def test_campaign_rejects_unknown_backend(tmp_path):
+    specs, directory = _grid(tmp_path)
+    with pytest.raises(ExperimentError, match="backend"):
+        CampaignRunner(specs, directory, backend="asyncio")
+
+
+def test_heartbeats_stamp_executing_backend(tmp_path):
+    """Every cell's heartbeat records the scheduler backend that ran
+    it, so mixed inline/fork campaigns are debuggable from `repro
+    status`."""
+    from repro.experiment.status import STATUS_DIRNAME, CampaignStatus
+
+    specs, directory = _grid(tmp_path)
+    CampaignRunner(specs, directory, pool_workers=1).run()
+    status_dir = os.path.join(directory, STATUS_DIRNAME)
+    for spec in specs:
+        with open(os.path.join(
+            status_dir, "%s.json" % spec.digest()
+        )) as fh:
+            beat = json.load(fh)
+        assert beat["backend"] == "inline"
+    status = CampaignStatus.load(directory)
+    assert {cell.backend for cell in status.cells} == {"inline"}
+    rendered = status.render(verbose=True)
+    assert "backend" in rendered
+    assert "inline" in rendered
+
+
 def test_resume_skips_completed_cells(tmp_path):
     specs, directory = _grid(tmp_path)
     first = CampaignRunner(specs, directory).run()

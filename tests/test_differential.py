@@ -864,3 +864,121 @@ class TestDeltaConvergence:
         ][:32]
         assert session.predict_batch(prefixes) == \
             twin.predict_batch(prefixes)
+
+
+# ---------------------------------------------------------------------
+# Scheduler-backend differential
+
+
+@pytest.fixture(
+    scope="module",
+    params=("object", "array"),
+    ids=("decision=object", "decision=array"),
+)
+def scheduler_case(request):
+    """The scheduler grid, per decision backend: the serial baseline
+    next to a run forced onto the inline backend and a crash-injected
+    run forced onto the fork backend at the CI worker count — every
+    execution path the scheduler can take, all with provenance."""
+    from repro.experiment.scheduler import fork_available
+
+    decision = request.param
+    seed, scale = GRID[0]
+    ecosystem = build_ecosystem(REEcosystemConfig(scale=scale), seed=seed)
+    serial, serial_jsonl = _run_with_provenance(
+        ExperimentRunner(ecosystem, "surf", seed=seed,
+                         decision_backend=decision)
+    )
+    variants = {}
+    provenance = {"serial": serial_jsonl}
+    runners = {
+        "backend=inline": ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=1, shard_size=7,
+            decision_backend=decision, backend="inline",
+        ),
+    }
+    if fork_available():
+        runners["backend=fork crash-injected"] = ShardedRunner(
+            ecosystem, "surf", seed=seed, workers=WORKERS,
+            fault_plan=CRASH_PLAN, shard_timeout=0.5, backoff_base=0.0,
+            decision_backend=decision, backend="fork",
+        )
+    for label, runner in runners.items():
+        variants[label], provenance[label] = _run_with_provenance(runner)
+    return ecosystem, serial, variants, provenance
+
+
+class TestSchedulerDifferential:
+    """Identity of the scheduler execution paths: a run forced onto
+    either backend — the fork one while recovering injected crashes
+    and hangs — must be byte-identical to the fault-free serial run,
+    under both decision backends."""
+
+    def test_rounds_identical(self, scheduler_case):
+        _, serial, variants, _ = scheduler_case
+        expected = [_round_key(r) for r in serial.rounds]
+        for label, result in variants.items():
+            assert [_round_key(r) for r in result.rounds] == expected, label
+
+    def test_replay_keys_identical(self, scheduler_case):
+        _, serial, variants, _ = scheduler_case
+        expected = [
+            [stats.replay_key() for stats in round_stats]
+            for round_stats in serial.round_convergence
+        ]
+        for label, result in variants.items():
+            got = [
+                [stats.replay_key() for stats in round_stats]
+                for round_stats in result.round_convergence
+            ]
+            assert got == expected, label
+
+    def test_classifications_identical(self, scheduler_case):
+        ecosystem, serial, variants, _ = scheduler_case
+        origins = origin_map(ecosystem)
+        expected = {
+            prefix: inference.category
+            for prefix, inference in
+            classify_experiment(serial, origins).inferences.items()
+        }
+        for label, result in variants.items():
+            got = {
+                prefix: inference.category
+                for prefix, inference in
+                classify_experiment(result, origins).inferences.items()
+            }
+            assert got == expected, label
+
+    def test_provenance_byte_identical(self, scheduler_case):
+        _, _, _, provenance = scheduler_case
+        serial_jsonl = provenance["serial"]
+        assert serial_jsonl
+        for label, jsonl in provenance.items():
+            assert jsonl == serial_jsonl, label
+
+    def test_forced_fork_recovered_from_every_fault(self, scheduler_case):
+        _, serial, variants, _ = scheduler_case
+        assert serial.degradations == []
+        forked = variants.get("backend=fork crash-injected")
+        if forked is None:
+            pytest.skip("fork start method unavailable")
+        assert forked.degradations
+        assert all(record.recovered for record in forked.degradations)
+        inline = variants["backend=inline"]
+        assert inline.degradations == []
+
+    def test_spec_level_backend_forcing_matches(self, scheduler_case):
+        """`ExecutionPolicy.backend` reaches the runner: the facade
+        honours a forced inline backend and produces the serial
+        result."""
+        from repro.api import ExecutionPolicy, ExperimentSpec, run_experiment
+
+        _, _, _, _ = scheduler_case
+        seed, scale = GRID[0]
+        baseline = run_experiment(ExperimentSpec(seed=seed, scale=scale))
+        forced = run_experiment(ExperimentSpec(
+            seed=seed, scale=scale,
+            execution=ExecutionPolicy(workers=1, backend="inline"),
+        ))
+        assert [_round_key(r) for r in forced.rounds] == \
+            [_round_key(r) for r in baseline.rounds]

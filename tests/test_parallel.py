@@ -1,7 +1,8 @@
 """Unit tests for the sharded execution machinery: shard partitioning,
 the compact response wire format, snapshot walks, obs merging, and the
-inline executor.  End-to-end serial-vs-sharded equality lives in
-``test_differential.py``."""
+inline scheduler backend.  End-to-end serial-vs-sharded equality lives
+in ``test_differential.py``; scheduler-core unit tests live in
+``test_scheduler.py``."""
 
 import pytest
 
@@ -10,9 +11,9 @@ from repro.errors import ExperimentError
 from repro.experiment.parallel import (
     DEFAULT_SHARDS_PER_WORKER,
     ShardedRunner,
-    _InlineExecutor,
     _WorkerState,
 )
+from repro.experiment.scheduler import InlineBackend, task_context
 from repro.experiment.records import ShardOutcome, ShardSpec
 from repro.obs import MetricsRegistry, span, use_registry
 from repro.obs.spans import (
@@ -187,31 +188,30 @@ class TestShardSpecs:
         assert len(specs) >= 2 * DEFAULT_SHARDS_PER_WORKER - 1
 
 
-class TestInlineExecutor:
+class TestInlineBackend:
     def _state(self):
         return _WorkerState(
             targets={}, systems={}, interface_kinds={}, pps=100
         )
 
     def test_submit_runs_eagerly_and_restores_state(self):
-        from repro.experiment import parallel
-
-        executor = _InlineExecutor(self._state())
+        state = self._state()
+        backend = InlineBackend(state)
         seen = []
-        future = executor.submit(
-            lambda value: seen.append(parallel._WORKER) or value, 42
+        future = backend.submit(
+            lambda value: seen.append(task_context()) or value, 42
         )
         assert future.result() == 42
-        assert seen[0] is executor._state
-        assert parallel._WORKER is None
+        assert seen[0] is state
+        assert task_context() is None
 
     def test_submit_captures_exceptions(self):
-        executor = _InlineExecutor(self._state())
+        backend = InlineBackend(self._state())
 
         def boom():
             raise ValueError("shard failed")
 
-        future = executor.submit(boom)
+        future = backend.submit(boom)
         with pytest.raises(ValueError, match="shard failed"):
             future.result()
 
@@ -334,10 +334,10 @@ class TestShardedRoundMetrics:
         assert snap["histograms"]["runner.shard_wall_seconds"]["count"] == \
             snap["counters"]["parallel.shards_completed"]
 
-    def test_executor_shut_down_after_run(self, ecosystem):
+    def test_scheduler_shut_down_after_run(self, ecosystem):
         runner = ShardedRunner(ecosystem, "surf", seed=0, workers=1)
         runner.run()
-        assert runner._executor is None
+        assert runner._scheduler is None
 
 
 class TestOutcomeRecords:
